@@ -1,0 +1,60 @@
+"""Figure 2 — CDFs of atoms per AS and prefixes per atom, 2004 vs 2024
+(§4.1).
+
+Paper: the 2024 atoms-per-AS CDF is right-shifted (ASes hold more
+atoms) and the prefixes-per-atom CDF is left-shifted (atoms hold fewer
+prefixes) relative to 2004 — atoms split over the two decades.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.statistics import (
+    atoms_per_as_distribution,
+    cdf,
+    prefixes_per_atom_distribution,
+)
+from repro.reporting.series import Series
+
+
+def _cdf_at(points, value):
+    """CDF evaluated at ``value`` (step function)."""
+    best = 0.0
+    for x, share in points:
+        if x <= value:
+            best = share
+        else:
+            break
+    return best
+
+
+def test_fig02_distribution_cdfs(benchmark, suite_2004, suite_2024):
+    atoms_per_as_2024 = benchmark.pedantic(
+        atoms_per_as_distribution, args=(suite_2024.atoms,), rounds=3, iterations=1
+    )
+    cdf_atoms_2004 = cdf(atoms_per_as_distribution(suite_2004.atoms))
+    cdf_atoms_2024 = cdf(atoms_per_as_2024)
+    cdf_sizes_2004 = cdf(prefixes_per_atom_distribution(suite_2004.atoms))
+    cdf_sizes_2024 = cdf(prefixes_per_atom_distribution(suite_2024.atoms))
+
+    lines = []
+    for name, points in (
+        ("atoms per AS, 2004", cdf_atoms_2004),
+        ("atoms per AS, 2024", cdf_atoms_2024),
+        ("prefixes per atom, 2004", cdf_sizes_2004),
+        ("prefixes per atom, 2024", cdf_sizes_2024),
+    ):
+        series = Series(name)
+        for value in (1, 2, 4, 8, 16, 32):
+            series.add(value, _cdf_at(points, value) * 100)
+        lines.append(series)
+    emit(
+        "fig02_distribution_cdfs",
+        "Figure 2: CDFs of atoms/AS (left) and prefixes/atom (right)\n"
+        + "\n".join(series.render(x_label="n") for series in lines),
+    )
+
+    # 2024 ASes have more atoms: CDF at small counts is lower.
+    assert _cdf_at(cdf_atoms_2024, 1) < _cdf_at(cdf_atoms_2004, 1)
+    assert _cdf_at(cdf_atoms_2024, 2) <= _cdf_at(cdf_atoms_2004, 2) + 0.02
+    # 2024 atoms have fewer prefixes: CDF at small sizes is higher.
+    assert _cdf_at(cdf_sizes_2024, 1) > _cdf_at(cdf_sizes_2004, 1)
+    assert _cdf_at(cdf_sizes_2024, 4) >= _cdf_at(cdf_sizes_2004, 4) - 0.02

@@ -1,0 +1,71 @@
+"""Figure 3 — likelihood of atoms/ASes seen in full in one BGP update,
+2004 vs 2024 (§4.2).
+
+Paper: atoms with 2-6 prefixes are seen in full in > 40 % of the
+updates touching them (2024), ~30 pp above same-sized ASes; ASes with
+only single-prefix atoms are almost never seen in full.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.update_correlation import (
+    GROUP_AS,
+    GROUP_AS_MULTI_ATOM,
+    GROUP_AS_SINGLE_ATOMS,
+    GROUP_ATOM,
+)
+from repro.reporting.series import Series
+
+
+def _series(correlation, kind, label):
+    series = Series(label)
+    for size, value in correlation.curve(kind, max_size=7):
+        series.add(size, None if value is None else value * 100)
+    return series
+
+
+def _mean(correlation, kind):
+    values = [v for _, v in correlation.curve(kind, max_size=7) if v is not None]
+    return sum(values) / len(values) if values else None
+
+
+def test_fig03_update_correlation(benchmark, suite_2004, suite_2024):
+    def read(suite):
+        assert suite.updates is not None
+        return suite.updates
+
+    correlation_2024 = benchmark.pedantic(read, args=(suite_2024,), rounds=1,
+                                          iterations=1)
+    correlation_2004 = read(suite_2004)
+
+    lines = []
+    for year, correlation in (("2004", correlation_2004), ("2024", correlation_2024)):
+        lines.append(_series(correlation, GROUP_ATOM, f"Atom ({year})"))
+        lines.append(_series(correlation, GROUP_AS, f"AS ({year})"))
+        lines.append(
+            _series(correlation, GROUP_AS_MULTI_ATOM, f"AS with multi-prefix atom ({year})")
+        )
+        lines.append(
+            _series(correlation, GROUP_AS_SINGLE_ATOMS, f"AS all single-prefix atoms ({year})")
+        )
+    emit(
+        "fig03_update_correlation",
+        "Figure 3: % of groups seen in full within one BGP update\n"
+        + "\n".join(series.render(x_label="k", y_format="{:.0f}") for series in lines),
+    )
+
+    for year, correlation in (("2004", correlation_2004), ("2024", correlation_2024)):
+        atom_mean = _mean(correlation, GROUP_ATOM)
+        as_mean = _mean(correlation, GROUP_AS)
+        assert atom_mean is not None and as_mean is not None, year
+        assert atom_mean > as_mean + 0.10, year
+        single_mean = _mean(correlation, GROUP_AS_SINGLE_ATOMS)
+        if single_mean is not None:
+            assert single_mean < 0.35, year
+    # 2024 atoms: > 40 % seen in full for k in 2..6 (paper's headline),
+    # allowing slack on sparse points.
+    checked = [
+        value
+        for size, value in correlation_2024.curve(GROUP_ATOM, max_size=6)
+        if value is not None
+    ]
+    assert checked and sum(v > 0.30 for v in checked) >= len(checked) - 1

@@ -1,0 +1,41 @@
+"""Figure 4 — formation-distance trend, 2004-2024 (§4.3).
+
+Paper: the share of atoms formed at distance 1 falls steadily while
+distances 3+ gain; excluding single-atom ASes (dashed) flattens the
+distance-1 line, showing the drop is driven by the shrinking share of
+single-atom origins.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.longitudinal import formation_trend_series
+
+
+def test_fig04_formation_trend(benchmark, longitudinal_results):
+    series = benchmark.pedantic(
+        formation_trend_series, args=(longitudinal_results,), rounds=1, iterations=1
+    )
+    emit(
+        "fig04_formation_trend",
+        "Figure 4: % atoms formed at each AS distance, 2004-2024\n"
+        + "\n".join(line.render(x_label="year", y_format="{:.0f}") for line in series),
+    )
+
+    by_name = {line.name: line for line in series}
+    d1 = by_name["distance 1"]
+    d3 = by_name["distance 3"]
+    first_half_d1 = [y for _, y in d1.points[:3]]
+    last_half_d1 = [y for _, y in d1.points[-3:]]
+    assert sum(last_half_d1) / 3 < sum(first_half_d1) / 3, (
+        "distance-1 share must decline over the two decades"
+    )
+    first_half_d3 = [y for _, y in d3.points[:3]]
+    last_half_d3 = [y for _, y in d3.points[-3:]]
+    assert sum(last_half_d3) / 3 > sum(first_half_d3) / 3, (
+        "distance-3 share must grow over the two decades"
+    )
+    # The dashed (single-atom-AS-excluded) distance-1 line moves less
+    # than the solid one (§4.3's explanation of the drop).
+    dashed = by_name["distance 1 (excl. single-atom ASes)"]
+    solid_drop = d1.points[0][1] - d1.points[-1][1]
+    dashed_drop = dashed.points[0][1] - dashed.points[-1][1]
+    assert dashed_drop < solid_drop + 5.0

@@ -1,0 +1,51 @@
+"""Figures 7 and 16 — per-day split breakdown by observer (§4.4.1, A8.6).
+
+Paper: on most days the single-observer split events are concentrated
+on one vantage point (often a VP whose own provider changed), rather
+than spread evenly.
+"""
+
+from benchmarks.conftest import emit
+from repro.reporting.tables import render_table
+
+
+def test_fig07_split_breakdown(benchmark, vantage_result):
+    def breakdowns():
+        return [day.breakdown() for day in vantage_result.days]
+
+    rows_data = benchmark.pedantic(breakdowns, rounds=1, iterations=1)
+    rows = []
+    for day, breakdown in zip(vantage_result.days, rows_data):
+        total = breakdown["single"] + breakdown["multi"]
+        if total == 0:
+            continue
+        rows.append(
+            (
+                str(day.timestamp),
+                total,
+                breakdown["multi"],
+                breakdown["single_top"],
+                breakdown["single_second"],
+                breakdown["single_rest"],
+            )
+        )
+    emit(
+        "fig07_split_breakdown",
+        render_table(
+            ["day (ts)", "events", "multi-VP", "top single VP",
+             "2nd single VP", "other single VPs"],
+            rows,
+            title="Figure 7/16: daily atom-split events by observer",
+        ),
+    )
+
+    days_with_events = [b for b in rows_data if b["single"] + b["multi"] > 0]
+    assert days_with_events, "expected split events"
+    # On a majority of active days the top single VP dominates the
+    # single-observer events.
+    dominated = sum(
+        1
+        for b in days_with_events
+        if b["single"] and b["single_top"] >= 0.5 * b["single"]
+    )
+    assert dominated >= 0.4 * len([b for b in days_with_events if b["single"]])

@@ -1,0 +1,59 @@
+"""Figure 8 — IPv4 vs IPv6 distribution CDFs, 2024 (§5.1).
+
+Paper: IPv6 has *fewer* atoms per AS than IPv4 (more single-atom ASes)
+and a broadly similar prefixes-per-atom distribution.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.statistics import (
+    atoms_per_as_distribution,
+    cdf,
+    prefixes_per_atom_distribution,
+)
+from repro.reporting.series import Series
+
+
+def _cdf_at(points, value):
+    best = 0.0
+    for x, share in points:
+        if x <= value:
+            best = share
+        else:
+            break
+    return best
+
+
+def test_fig08_ipv6_cdfs(benchmark, ipv6_recent_stats):
+    v4_suite, v6_suite = ipv6_recent_stats
+
+    def build():
+        return {
+            "v4_atoms_per_as": cdf(atoms_per_as_distribution(v4_suite.atoms)),
+            "v6_atoms_per_as": cdf(atoms_per_as_distribution(v6_suite.atoms)),
+            "v4_prefixes_per_atom": cdf(prefixes_per_atom_distribution(v4_suite.atoms)),
+            "v6_prefixes_per_atom": cdf(prefixes_per_atom_distribution(v6_suite.atoms)),
+        }
+
+    cdfs = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = []
+    for name, points in cdfs.items():
+        series = Series(name)
+        for value in (1, 2, 4, 8, 16, 32):
+            series.add(value, _cdf_at(points, value) * 100)
+        lines.append(series)
+    emit(
+        "fig08_ipv6_cdfs",
+        "Figure 8: IPv4 vs IPv6 CDFs, 2024\n"
+        + "\n".join(series.render(x_label="n", y_format="{:.0f}") for series in lines),
+    )
+
+    # IPv6 ASes hold fewer atoms: higher CDF at 1-2 atoms.
+    assert _cdf_at(cdfs["v6_atoms_per_as"], 1) > _cdf_at(cdfs["v4_atoms_per_as"], 1) - 0.03
+    # Prefixes-per-atom distributions broadly similar: CDFs within 25 pp
+    # at small sizes.
+    for value in (1, 2, 4):
+        gap = abs(
+            _cdf_at(cdfs["v6_prefixes_per_atom"], value)
+            - _cdf_at(cdfs["v4_prefixes_per_atom"], value)
+        )
+        assert gap < 0.25, value

@@ -1,0 +1,33 @@
+"""Figure 9 — IPv6 stability trend (§5.2).
+
+Paper: IPv6 atom stability stays high and is on the whole steadier than
+IPv4's.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.longitudinal import stability_trend_series
+
+
+def test_fig09_ipv6_stability(benchmark, ipv6_trend):
+    series = benchmark.pedantic(
+        stability_trend_series, args=(ipv6_trend,), rounds=1, iterations=1
+    )
+    emit(
+        "fig09_ipv6_stability",
+        "Figure 9: IPv6 atom stability trend (CAM/MPM, %)\n"
+        + "\n".join(line.render(x_label="year") for line in series),
+    )
+
+    by_name = {line.name: line for line in series}
+    cam_short = [
+        y for _, y in by_name["Complete atom match (after 8 hours)"].points
+        if y is not None
+    ]
+    assert cam_short, "expected stability points"
+    assert sum(cam_short) / len(cam_short) > 85.0
+    mpm_short = [
+        y for _, y in by_name["Maximized prefix match (after 8 hours)"].points
+        if y is not None
+    ]
+    for cam, mpm in zip(cam_short, mpm_short):
+        assert mpm >= cam - 1.0

@@ -1,0 +1,45 @@
+"""Figure 10 — IPv6 update correlation (§5.3).
+
+Paper: for IPv6 too, atoms are far likelier than ASes to be seen in
+full within a single BGP update.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.update_correlation import GROUP_AS, GROUP_AS_SINGLE_ATOMS, GROUP_ATOM
+from repro.reporting.series import Series
+
+
+def test_fig10_ipv6_updates(benchmark, ipv6_study, ipv6_trend):
+    suite = benchmark.pedantic(
+        ipv6_study.v6_update_suite,
+        kwargs={"year": 2024, "month": 10},
+        rounds=1,
+        iterations=1,
+    )
+    correlation = suite.updates
+    assert correlation is not None
+
+    lines = []
+    for kind, label in (
+        (GROUP_ATOM, "Atom"),
+        (GROUP_AS, "AS"),
+        (GROUP_AS_SINGLE_ATOMS, "AS all single-prefix atoms"),
+    ):
+        series = Series(label)
+        for size, value in correlation.curve(kind, max_size=7):
+            series.add(size, None if value is None else value * 100)
+        lines.append(series)
+    emit(
+        "fig10_ipv6_updates",
+        f"Figure 10: IPv6 update correlation ({suite.update_record_count} records)\n"
+        + "\n".join(series.render(x_label="k", y_format="{:.0f}") for series in lines),
+    )
+
+    def mean(kind):
+        values = [v for _, v in correlation.curve(kind, max_size=7) if v is not None]
+        return sum(values) / len(values) if values else None
+
+    atom_mean = mean(GROUP_ATOM)
+    as_mean = mean(GROUP_AS)
+    assert atom_mean is not None and as_mean is not None
+    assert atom_mean > as_mean + 0.05

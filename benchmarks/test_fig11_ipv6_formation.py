@@ -1,0 +1,35 @@
+"""Figure 11 — IPv6 formation-distance trend (§5.4).
+
+Paper: the share of IPv6 atoms created at distance 1 falls as IPv6
+matures (fewer single-prefix ASes), and the average formation distance
+stays *smaller* than IPv4's — coarser v6 traffic engineering.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.longitudinal import formation_trend_series
+
+
+def _weighted_mean_distance(shares):
+    return sum(d * share for d, share in shares.items())
+
+
+def test_fig11_ipv6_formation(benchmark, ipv6_trend, longitudinal_results):
+    series = benchmark.pedantic(
+        formation_trend_series, args=(ipv6_trend,), rounds=1, iterations=1
+    )
+    emit(
+        "fig11_ipv6_formation",
+        "Figure 11: IPv6 formation-distance trend\n"
+        + "\n".join(line.render(x_label="year", y_format="{:.0f}") for line in series),
+    )
+
+    by_name = {line.name: line for line in series}
+    d1 = [y for _, y in by_name["distance 1"].points if y is not None]
+    assert d1, "expected distance-1 points"
+    # Distance-1 share falls (or at worst stays flat) as IPv6 matures.
+    assert d1[-1] <= d1[0] + 8.0
+
+    # IPv6 forms closer to the origin than IPv4 in the same era.
+    v6_last = ipv6_trend[-1].formation_shares
+    v4_last = longitudinal_results[-1].formation_shares
+    assert _weighted_mean_distance(v6_last) <= _weighted_mean_distance(v4_last) + 0.35

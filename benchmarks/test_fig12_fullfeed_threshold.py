@@ -1,0 +1,28 @@
+"""Figure 12 — the full-feed threshold (max unique prefixes per peer)
+over the years (A8.2).
+
+Paper: grows from ~100K to ~1M, tracking global table growth.  Scaled
+by the world factor, the series must grow roughly 7-8x over 2004-2024.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.longitudinal import fullfeed_trend_series
+
+
+def test_fig12_fullfeed_threshold(benchmark, longitudinal_results):
+    threshold, _ = benchmark.pedantic(
+        fullfeed_trend_series, args=(longitudinal_results,), rounds=1, iterations=1
+    )
+    emit(
+        "fig12_fullfeed_threshold",
+        "Figure 12: maximum unique-prefix count per peer (full-feed threshold)\n"
+        + threshold.render(x_label="year", y_format="{:.0f}"),
+    )
+
+    values = [y for _, y in threshold.points]
+    assert values[-1] > 4 * values[0], "table must grow several-fold"
+    # Broadly monotone: each point at least 90 % of the running max.
+    running_max = 0.0
+    for value in values:
+        running_max = max(running_max, value)
+        assert value > 0.85 * running_max

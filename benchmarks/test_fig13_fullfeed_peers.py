@@ -1,0 +1,25 @@
+"""Figure 13 — number of full-feed peers over the years (A8.2).
+
+Paper: fewer than 50 full-feed peers in 2004, around 600 by 2024.
+Scaled by the peer factor, the series must grow several-fold and the
+90 %-rule must keep identifying the configured full feeders.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.longitudinal import fullfeed_trend_series
+
+
+def test_fig13_fullfeed_peers(benchmark, longitudinal_results):
+    _, peers = benchmark.pedantic(
+        fullfeed_trend_series, args=(longitudinal_results,), rounds=1, iterations=1
+    )
+    emit(
+        "fig13_fullfeed_peers",
+        "Figure 13: number of full-feed peers (90% rule)\n"
+        + peers.render(x_label="year", y_format="{:.0f}"),
+    )
+
+    values = [y for _, y in peers.points]
+    assert values[-1] > values[0], "full-feed peer population must grow"
+    assert values[-1] >= 1.5 * values[0]
+    assert all(value >= 5 for value in values)

@@ -1,0 +1,46 @@
+"""Figure 14 — 2002 AS/atom distribution CDFs (A8.4.1).
+
+Paper: the reproduced 2002 dataset has ~12.5K ASes, 115K prefixes and
+26K atoms, and the three CDFs (atoms/AS, prefixes/atom, prefixes/AS)
+match the original paper's Figure.
+"""
+
+from benchmarks.conftest import emit
+from repro.reporting.series import Series
+
+
+def test_fig14_replication_stats(benchmark, replication_result):
+    cdfs = benchmark.pedantic(
+        replication_result.distribution_cdfs, rounds=1, iterations=1
+    )
+
+    def cdf_at(points, value):
+        best = 0.0
+        for x, share in points:
+            if x <= value:
+                best = share
+            else:
+                break
+        return best
+
+    lines = []
+    for name, points in cdfs.items():
+        series = Series(name)
+        for value in (1, 2, 4, 8, 16, 32, 64):
+            series.add(value, cdf_at(points, value) * 100)
+        lines.append(series)
+    stats = replication_result.stats
+    emit(
+        "fig14_replication_stats",
+        "Figure 14: 2002 distributions (scaled 1/100)\n"
+        f"ASes={stats.n_ases} prefixes={stats.n_prefixes} atoms={stats.n_atoms}\n"
+        + "\n".join(series.render(x_label="n", y_format="{:.0f}") for series in lines),
+    )
+
+    # Full-scale anchors: 12.5K ASes / 115K prefixes / 26K atoms.
+    assert stats.n_prefixes / stats.n_ases > 5.0
+    assert 0.1 < stats.n_atoms / stats.n_prefixes < 0.45
+    # Ordering of the three CDFs at n=1: atoms/AS is the most
+    # concentrated, prefixes/AS the least.
+    assert cdf_at(cdfs["atoms_per_as"], 1) > cdf_at(cdfs["prefixes_per_as"], 1)
+    assert cdf_at(cdfs["prefixes_per_atom"], 1) > cdf_at(cdfs["prefixes_per_as"], 1)

@@ -1,0 +1,41 @@
+"""Figure 15 — 2002 update correlation (A8.4.2).
+
+Paper: on the 2002 dataset too, atoms are much likelier than ASes to
+appear in full inside one update record — the original paper's core
+observation, reproduced.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.update_correlation import GROUP_AS, GROUP_ATOM
+from repro.reporting.series import Series
+
+
+def test_fig15_replication_updates(benchmark, replication_result):
+    correlation = benchmark.pedantic(
+        lambda: replication_result.updates, rounds=1, iterations=1
+    )
+    assert correlation is not None
+
+    lines = []
+    for kind, label in ((GROUP_ATOM, "Atom (with x prefixes)"),
+                        (GROUP_AS, "AS (with x prefixes)")):
+        series = Series(label)
+        for size, value in correlation.curve(kind, max_size=7):
+            series.add(size, None if value is None else value * 100)
+        lines.append(series)
+    emit(
+        "fig15_replication_updates",
+        "Figure 15: 2002 update correlation "
+        f"({replication_result.update_record_count} records)\n"
+        + "\n".join(series.render(x_label="k", y_format="{:.0f}") for series in lines),
+    )
+
+    def mean(kind):
+        values = [v for _, v in correlation.curve(kind, max_size=7) if v is not None]
+        return sum(values) / len(values) if values else None
+
+    atom_mean = mean(GROUP_ATOM)
+    as_mean = mean(GROUP_AS)
+    assert atom_mean is not None and as_mean is not None
+    assert atom_mean > as_mean
+    assert atom_mean > 0.35

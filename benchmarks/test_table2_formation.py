@@ -1,0 +1,52 @@
+"""Table 2 — formation distance distribution, 2004 vs 2024 (§4.3).
+
+Paper: distance 1: 45 % -> 20 %; distance 2: 30 % -> 30 %; distance 3:
+17 % -> 33 %; distance 4: 6 % -> 12 %.  The reproduction must show the
+distance-1 collapse and the shift toward distances >= 3.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.formation import formation_distances
+from repro.reporting.tables import render_table
+
+PAPER = {
+    1: (0.45, 0.20),
+    2: (0.30, 0.30),
+    3: (0.17, 0.33),
+    4: (0.06, 0.12),
+}
+
+
+def test_table2_formation_distance(benchmark, suite_2004, suite_2024):
+    result_2024 = benchmark.pedantic(
+        formation_distances, args=(suite_2024.atoms,), rounds=1, iterations=1
+    )
+    result_2004 = formation_distances(suite_2004.atoms)
+    shares_2004 = result_2004.distance_shares(max_distance=5)
+    shares_2024 = result_2024.distance_shares(max_distance=5)
+
+    rows = [
+        (
+            f"Atom formed at dist {d}",
+            f"{shares_2004[d]:.0%} (paper {PAPER.get(d, ('-','-'))[0]:.0%})"
+            if d in PAPER else f"{shares_2004[d]:.0%}",
+            f"{shares_2024[d]:.0%} (paper {PAPER.get(d, ('-','-'))[1]:.0%})"
+            if d in PAPER else f"{shares_2024[d]:.0%}",
+        )
+        for d in range(1, 6)
+    ]
+    emit(
+        "table2_formation",
+        render_table(["", "2004", "2024"],
+                     rows, title="Table 2: formation distance distribution"),
+    )
+
+    # Key trends.
+    assert shares_2004[1] > shares_2024[1] + 0.10, "distance-1 share must collapse"
+    assert shares_2024[3] + shares_2024[4] > shares_2004[3] + shares_2004[4], (
+        "splits must move past the origin's provider"
+    )
+    # Rough band agreement with the paper.
+    for distance, (paper_2004, paper_2024) in PAPER.items():
+        assert abs(shares_2004[distance] - paper_2004) < 0.17, (distance, "2004")
+        assert abs(shares_2024[distance] - paper_2024) < 0.17, (distance, "2024")

@@ -1,0 +1,61 @@
+"""Table 3 — stability of atoms, 2004 vs 2024 (§4.4).
+
+Paper: Jan 2004 CAM/MPM: 96.3/98.3 (8 h), 91.4/95.0 (24 h), 80.3/88.8
+(1 week); Oct 2024: 83.7/90.6, 79.3/87.2, 71.9/80.1.  Both years must
+show the fast-then-flat decay, with 2024 clearly less stable.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.stability import complete_atom_match, maximized_prefix_match
+from repro.reporting.tables import render_table
+
+PAPER = {
+    ("2004", "8h"): (0.963, 0.983),
+    ("2004", "24h"): (0.914, 0.950),
+    ("2004", "1w"): (0.803, 0.888),
+    ("2024", "8h"): (0.837, 0.906),
+    ("2024", "24h"): (0.793, 0.872),
+    ("2024", "1w"): (0.719, 0.801),
+}
+
+
+def test_table3_stability(benchmark, suite_2004, suite_2024):
+    benchmark.pedantic(
+        complete_atom_match,
+        args=(suite_2024.atoms, suite_2024.after_8h.atoms),
+        rounds=3,
+        iterations=1,
+    )
+    stability = {
+        "2004": suite_2004.stability(),
+        "2024": suite_2024.stability(),
+    }
+
+    rows = []
+    for span in ("8h", "24h", "1w"):
+        row = [f"After {span}"]
+        for year in ("2004", "2024"):
+            cam, mpm = stability[year][span]
+            paper_cam, paper_mpm = PAPER[(year, span)]
+            row.append(f"{cam:.1%} / {mpm:.1%} (paper {paper_cam:.1%} / {paper_mpm:.1%})")
+        rows.append(tuple(row))
+    emit(
+        "table3_stability",
+        render_table(
+            ["", "Jan 2004 CAM/MPM", "Oct 2024 CAM/MPM"],
+            rows,
+            title="Table 3: stability of atoms",
+        ),
+    )
+
+    for year in ("2004", "2024"):
+        cam_8h, mpm_8h = stability[year]["8h"]
+        cam_24h, _ = stability[year]["24h"]
+        cam_1w, mpm_1w = stability[year]["1w"]
+        assert cam_8h >= cam_24h >= cam_1w, year
+        assert mpm_8h >= cam_8h, year  # prefixes stay grouped more than atoms
+        paper_cam_8h = PAPER[(year, "8h")][0]
+        assert abs(cam_8h - paper_cam_8h) < 0.12, year
+    # 2024 less stable than 2004 at every horizon.
+    for span in ("8h", "24h", "1w"):
+        assert stability["2004"][span][0] > stability["2024"][span][0] - 0.02

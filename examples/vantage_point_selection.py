@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Vantage-point reliability from atom-split observations (paper §4.4.1, §7.1).
+
+Processes daily snapshots, detects atom splits, and ranks vantage
+points by how many splits only *they* observe — the paper's recipe for
+spotting VPs whose own policy changes masquerade as routing events.
+
+Run:  python examples/vantage_point_selection.py [--days 20]
+"""
+
+import argparse
+from collections import Counter
+
+from repro import SimulatedInternet, WorldParams
+from repro.analysis import VantageStudy
+from repro.reporting import render_table
+
+WORLD = WorldParams(
+    seed=37,
+    as_scale=1 / 300.0,
+    prefix_scale=1 / 300.0,
+    peer_scale=0.05,
+    collector_scale=0.3,
+    min_fullfeed_peers=10,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=20)
+    args = parser.parse_args()
+
+    print(f"Simulating {args.days} daily snapshots from 2018-01-01 ...")
+    internet = SimulatedInternet(WORLD, start="2018-01-01 08:00")
+    study = VantageStudy(internet)
+    result = study.run(internet.current_time, days=args.days)
+
+    events = result.all_events()
+    print(f"\n{len(events)} atom-split events detected")
+    if not events:
+        print("No events in this window; try more days or another seed.")
+        return
+    print(f"  seen by exactly 1 VP:  {result.share_single_observer():.0%}")
+    print(f"  seen by <= 3 VPs:      {result.share_at_most(3):.0%}")
+
+    solo_counter = Counter()
+    for event in events:
+        if event.observer_count == 1:
+            solo_counter[event.observers[0]] += 1
+    rows = [
+        (f"{collector} AS{asn}", count,
+         f"{count / max(1, len(events)):.0%}")
+        for (collector, asn, _), count in solo_counter.most_common(8)
+    ]
+    print()
+    print(
+        render_table(
+            ["vantage point", "solo-observed splits", "share of all events"],
+            rows,
+            title="VPs most often the *only* observer of a split "
+                  "(candidates for exclusion, cf. paper §7.1)",
+        )
+    )
+    print(
+        "\nInterpretation: splits visible to one VP usually reflect that VP's"
+        "\nown policy environment (e.g. a provider change), not a routing"
+        "\nevent near the origin — pick vantage points accordingly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — a replication library for *"A Two Decade Review of Policy
+Atoms: Tracing the Evolution of AS Path Sharing Prefixes"* (IMC 2025).
+
+The package has three layers:
+
+* **substrates** — network primitives (:mod:`repro.net`), a BGP data
+  model (:mod:`repro.bgp`), a synthetic evolving Internet
+  (:mod:`repro.topology`, :mod:`repro.simulation`), and a
+  BGPStream-style access layer (:mod:`repro.stream`);
+* **core** — the paper\'s contribution: policy-atom computation with the
+  full sanitization methodology (:mod:`repro.core`);
+* **analyses** — the paper\'s studies assembled from the core
+  (:mod:`repro.analysis`) with text/CSV reporting
+  (:mod:`repro.reporting`).
+
+Quickstart::
+
+    from repro import SimulatedInternet, compute_policy_atoms
+    from repro.topology.evolution import SMALL_WORLD
+
+    internet = SimulatedInternet(SMALL_WORLD, start="2024-10-15 08:00")
+    result = compute_policy_atoms(internet.rib_records("2024-10-15 08:00"))
+    print(len(result.atoms), "atoms")
+"""
+
+from repro.core import (
+    AtomComputation,
+    AtomSet,
+    PolicyAtom,
+    SanitizationConfig,
+    complete_atom_match,
+    compute_atoms,
+    compute_policy_atoms,
+    formation_distances,
+    general_stats,
+    maximized_prefix_match,
+    sanitize,
+    update_correlation,
+)
+from repro.net import ASPath, Prefix
+from repro.simulation import SimulatedInternet
+from repro.stream import BGPStream, RecordArchive
+from repro.topology.evolution import (
+    MEDIUM_WORLD,
+    SMALL_WORLD,
+    TINY_WORLD,
+    WorldParams,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASPath",
+    "AtomComputation",
+    "AtomSet",
+    "BGPStream",
+    "MEDIUM_WORLD",
+    "PolicyAtom",
+    "Prefix",
+    "RecordArchive",
+    "SMALL_WORLD",
+    "SanitizationConfig",
+    "SimulatedInternet",
+    "TINY_WORLD",
+    "WorldParams",
+    "complete_atom_match",
+    "compute_atoms",
+    "compute_policy_atoms",
+    "formation_distances",
+    "general_stats",
+    "maximized_prefix_match",
+    "sanitize",
+    "update_correlation",
+]

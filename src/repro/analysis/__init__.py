@@ -1,0 +1,58 @@
+"""The paper's analyses, assembled from the core pipeline.
+
+* :mod:`longitudinal` — §4: the 2004-2024 study (general statistics,
+  update correlation, formation distance, stability) at configurable
+  cadence;
+* :mod:`replication2002` — §3: reproducing Afek et al. on the
+  2002-01-15 RRC00 snapshot with 13 full-feed peers;
+* :mod:`ipv6` — §5: IPv6 atoms and the IPv4 comparison;
+* :mod:`sensitivity` — A8.5: prefix-visibility threshold grid;
+* :mod:`vantage` — §4.4.1: atom-split observer analysis over daily
+  snapshots.
+"""
+
+from repro.analysis.ipv6 import IPv6Comparison, IPv6Study
+from repro.analysis.reliability import (
+    VPReliability,
+    score_vantage_points,
+    select_reliable,
+)
+from repro.analysis.siblings import (
+    SiblingCandidate,
+    dual_stack_origins,
+    match_sibling_atoms,
+)
+from repro.analysis.probing import (
+    ProbingPlan,
+    build_probing_plan,
+    plan_accuracy,
+)
+from repro.analysis.longitudinal import (
+    LongitudinalStudy,
+    SnapshotSuite,
+    YearResult,
+)
+from repro.analysis.replication2002 import Replication2002, ReplicationResult
+from repro.analysis.sensitivity import threshold_sensitivity
+from repro.analysis.vantage import VantageStudy
+
+__all__ = [
+    "IPv6Comparison",
+    "IPv6Study",
+    "LongitudinalStudy",
+    "ProbingPlan",
+    "Replication2002",
+    "ReplicationResult",
+    "SiblingCandidate",
+    "SnapshotSuite",
+    "VPReliability",
+    "VantageStudy",
+    "YearResult",
+    "build_probing_plan",
+    "dual_stack_origins",
+    "match_sibling_atoms",
+    "plan_accuracy",
+    "score_vantage_points",
+    "select_reliable",
+    "threshold_sensitivity",
+]

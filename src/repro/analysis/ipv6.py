@@ -1,0 +1,120 @@
+"""IPv6 policy atoms (§5).
+
+IPv6 reuses the whole pipeline with ``family=AF_INET6``; this module
+adds the §5-specific assemblies: the IPv4/IPv6 comparison of Table 4
+and Figure 8, and the IPv6 twins of the stability / update / formation
+analyses (Figures 9-11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.longitudinal import LongitudinalStudy, SnapshotSuite, YearResult
+from repro.core.sanitize import SanitizationConfig
+from repro.core.statistics import (
+    GeneralStats,
+    atoms_per_as_distribution,
+    cdf,
+    general_stats,
+    prefixes_per_atom_distribution,
+)
+from repro.net.prefix import AF_INET, AF_INET6
+from repro.simulation.scenario import SimulatedInternet
+
+
+@dataclass
+class IPv6Comparison:
+    """The three columns of Table 4."""
+
+    v4_recent: GeneralStats
+    v6_recent: GeneralStats
+    v6_early: GeneralStats
+    recent_year: int
+    early_year: int
+
+    def rows(self) -> List[Tuple[str, str, str, str]]:
+        """Rows of the Table-4 comparison, formatted for rendering."""
+        def fmt(stats: GeneralStats) -> List[str]:
+            return [
+                f"{stats.n_prefixes:,}",
+                f"{stats.n_ases:,}",
+                f"{stats.n_ases_one_atom:,} ({stats.ases_one_atom_share:.1%})",
+                f"{stats.n_atoms:,}",
+                f"{stats.n_single_prefix_atoms:,} ({stats.single_prefix_atom_share:.1%})",
+                f"{stats.mean_atom_size:.2f}",
+                f"{stats.p99_atom_size}",
+                f"{stats.max_atom_size:,}",
+            ]
+
+        labels = [
+            "Number of prefixes",
+            "Number of ASes",
+            "# single-atom ASes",
+            "Number of atoms",
+            "# single-prefix atoms",
+            "Mean atom size",
+            "99th percentile of atom size",
+            "Largest atom size",
+        ]
+        v4 = fmt(self.v4_recent)
+        v6 = fmt(self.v6_recent)
+        v6_early = fmt(self.v6_early)
+        return [
+            (label, v4[i], v6[i], v6_early[i]) for i, label in enumerate(labels)
+        ]
+
+
+class IPv6Study:
+    """§5 analyses over one evolving simulator.
+
+    Time in a simulator only moves forward, so call :meth:`comparison`
+    (which needs the early-year snapshot) before running recent-year
+    analyses — or use separate study instances.
+    """
+
+    def __init__(
+        self,
+        simulator: SimulatedInternet,
+        sanitization: Optional[SanitizationConfig] = None,
+    ):
+        self.simulator = simulator
+        self.sanitization = sanitization
+        self._v4 = LongitudinalStudy(simulator, AF_INET, sanitization)
+        self._v6 = LongitudinalStudy(simulator, AF_INET6, sanitization)
+
+    def comparison(self, early_year: int = 2011, recent_year: int = 2024,
+                   month: int = 10) -> IPv6Comparison:
+        """Table 4: v4 vs v6 today, plus early v6."""
+        early = self._v6.snapshot_suite(early_year, 1, with_stability=False)
+        recent_v6 = self._v6.snapshot_suite(recent_year, month, with_stability=False)
+        recent_v4 = self._v4.snapshot_suite(recent_year, month, with_stability=False)
+        return IPv6Comparison(
+            v4_recent=recent_v4.stats(),
+            v6_recent=recent_v6.stats(),
+            v6_early=early.stats(),
+            recent_year=recent_year,
+            early_year=early_year,
+        )
+
+    def distribution_cdfs(self, year: int = 2024, month: int = 10) -> Dict[str, List]:
+        """Figure 8: atoms/AS and prefixes/atom CDFs for both families."""
+        v4 = self._v4.snapshot_suite(year, month, with_stability=False).atoms
+        v6 = self._v6.snapshot_suite(year, month, with_stability=False).atoms
+        return {
+            "v4_atoms_per_as": cdf(atoms_per_as_distribution(v4)),
+            "v6_atoms_per_as": cdf(atoms_per_as_distribution(v6)),
+            "v4_prefixes_per_atom": cdf(prefixes_per_atom_distribution(v4)),
+            "v6_prefixes_per_atom": cdf(prefixes_per_atom_distribution(v6)),
+        }
+
+    def v6_trend(self, years: Sequence[int], with_stability: bool = True) -> List[YearResult]:
+        """Figures 9 and 11: IPv6 stability and formation trends."""
+        return self._v6.run_years(years, with_stability=with_stability)
+
+    def v6_update_suite(self, year: int = 2024, month: int = 10) -> SnapshotSuite:
+        """Figure 10: IPv6 update correlation for one snapshot."""
+        return self._v6.snapshot_suite(
+            year, month, with_stability=False, with_updates=True
+        )

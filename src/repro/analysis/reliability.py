@@ -1,0 +1,97 @@
+"""Vantage-point reliability scoring (paper §7.1).
+
+The paper's discussion: many atom splits are visible to a single VP and
+reflect that VP's own policy environment, not a routing event.  This
+module turns the split-observer data into a per-VP reliability score so
+studies can "select VPs that are less likely to break atom stability".
+
+Scores are in [0, 1]: 1 means the VP never solo-observed a split; the
+score decays with the share of all split events the VP alone observed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bgp.rib import PeerId
+from repro.core.splits import SplitEvent
+
+
+@dataclass(frozen=True)
+class VPReliability:
+    """Reliability verdict for one vantage point."""
+
+    peer: PeerId
+    solo_splits: int
+    shared_splits: int
+    score: float
+
+    @property
+    def suspicious(self) -> bool:
+        return self.score < 0.5
+
+
+def score_vantage_points(
+    events: Sequence[SplitEvent],
+    vantage_points: Sequence[PeerId],
+) -> List[VPReliability]:
+    """Score every VP from a window of split events.
+
+    A solo-observed split counts fully against a VP (the split exists
+    only from its perspective); a shared observation counts 1/n.  The
+    score is ``1 / (1 + weighted_splits / mean_weighted_splits)``
+    normalised so that an average VP scores 0.5 and a silent VP 1.0.
+    """
+    solo: Counter = Counter()
+    shared: Counter = Counter()
+    weighted: Dict[PeerId, float] = {peer: 0.0 for peer in vantage_points}
+    for event in events:
+        observers = event.observers
+        if not observers:
+            continue
+        if len(observers) == 1:
+            solo[observers[0]] += 1
+        for observer in observers:
+            shared[observer] += 1
+            if observer in weighted:
+                weighted[observer] += 1.0 / len(observers)
+
+    values = [value for value in weighted.values()]
+    mean = (sum(values) / len(values)) if values else 0.0
+    results = []
+    for peer in vantage_points:
+        load = weighted.get(peer, 0.0)
+        if mean > 0:
+            score = 1.0 / (1.0 + load / mean)
+        else:
+            score = 1.0
+        results.append(
+            VPReliability(
+                peer=peer,
+                solo_splits=solo.get(peer, 0),
+                shared_splits=shared.get(peer, 0) - solo.get(peer, 0),
+                score=score,
+            )
+        )
+    results.sort(key=lambda r: r.score)
+    return results
+
+
+def select_reliable(
+    events: Sequence[SplitEvent],
+    vantage_points: Sequence[PeerId],
+    drop_fraction: float = 0.2,
+) -> Tuple[List[PeerId], List[PeerId]]:
+    """Split VPs into (keep, drop) by reliability.
+
+    ``drop_fraction`` of the VPs with the lowest scores — those whose
+    own policy churn most often masquerades as atom splits — are
+    recommended for exclusion when studying *global* routing policy.
+    """
+    ranked = score_vantage_points(events, vantage_points)
+    drop_count = int(len(ranked) * drop_fraction)
+    dropped = [entry.peer for entry in ranked[:drop_count]]
+    kept = [entry.peer for entry in ranked[drop_count:]]
+    return kept, dropped

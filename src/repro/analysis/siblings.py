@@ -1,0 +1,107 @@
+"""IPv4/IPv6 sibling-atom mapping (paper §7.3).
+
+The paper proposes using the *structure* of policy atoms — their counts,
+sizes, and formation distances within one AS — to identify "sibling
+prefixes": IPv4 and IPv6 prefixes serving the same purpose.  This
+module implements that proposal: for every AS originating in both
+families, v4 atoms are matched to v6 atoms by structural similarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.atoms import AtomSet, PolicyAtom
+from repro.core.formation import FormationResult, formation_distances
+
+
+@dataclass(frozen=True)
+class SiblingCandidate:
+    """A matched (v4 atom, v6 atom) pair within one origin AS."""
+
+    origin: int
+    v4_atom: PolicyAtom
+    v6_atom: PolicyAtom
+    similarity: float
+
+    def prefix_pairs(self) -> List[Tuple[str, str]]:
+        """Cross product of member prefixes (the candidate siblings)."""
+        v4 = sorted(str(p) for p in self.v4_atom.prefixes)
+        v6 = sorted(str(p) for p in self.v6_atom.prefixes)
+        return [(a, b) for a in v4 for b in v6]
+
+
+def _atom_signature(
+    atom: PolicyAtom,
+    formation: FormationResult,
+    max_size: int,
+) -> Tuple[float, float, float]:
+    """Structural fingerprint: relative size, formation distance,
+    visibility share."""
+    size = min(1.0, atom.size / max(1, max_size))
+    distance = formation.distances.get(atom.atom_id, 1) / 5.0
+    visibility = len(atom.visible_at()) / max(1, len(atom.paths))
+    return (size, distance, visibility)
+
+
+def _similarity(a: Tuple[float, float, float], b: Tuple[float, float, float]) -> float:
+    distance = sum((x - y) ** 2 for x, y in zip(a, b)) ** 0.5
+    return 1.0 / (1.0 + distance)
+
+
+def match_sibling_atoms(
+    v4_atoms: AtomSet,
+    v6_atoms: AtomSet,
+    min_similarity: float = 0.5,
+) -> List[SiblingCandidate]:
+    """Match v4 and v6 atoms of dual-stack origins by structure.
+
+    Greedy per-origin matching on the structural fingerprint (relative
+    size, formation distance, vantage-point visibility).  Returns pairs
+    above ``min_similarity``, best matches first.
+    """
+    v4_formation = formation_distances(v4_atoms)
+    v6_formation = formation_distances(v6_atoms)
+    v4_by_origin = v4_atoms.atoms_by_origin()
+    v6_by_origin = v6_atoms.atoms_by_origin()
+
+    candidates: List[SiblingCandidate] = []
+    for origin in sorted(set(v4_by_origin) & set(v6_by_origin)):
+        v4_list = v4_by_origin[origin]
+        v6_list = v6_by_origin[origin]
+        max_v4 = max(atom.size for atom in v4_list)
+        max_v6 = max(atom.size for atom in v6_list)
+        scored: List[Tuple[float, PolicyAtom, PolicyAtom]] = []
+        for v4_atom in v4_list:
+            sig4 = _atom_signature(v4_atom, v4_formation, max_v4)
+            for v6_atom in v6_list:
+                sig6 = _atom_signature(v6_atom, v6_formation, max_v6)
+                scored.append((_similarity(sig4, sig6), v4_atom, v6_atom))
+        scored.sort(key=lambda item: (-item[0], item[1].atom_id, item[2].atom_id))
+        used_v4: set = set()
+        used_v6: set = set()
+        for similarity, v4_atom, v6_atom in scored:
+            if similarity < min_similarity:
+                break
+            if v4_atom.atom_id in used_v4 or v6_atom.atom_id in used_v6:
+                continue
+            used_v4.add(v4_atom.atom_id)
+            used_v6.add(v6_atom.atom_id)
+            candidates.append(
+                SiblingCandidate(
+                    origin=origin,
+                    v4_atom=v4_atom,
+                    v6_atom=v6_atom,
+                    similarity=similarity,
+                )
+            )
+    candidates.sort(key=lambda c: -c.similarity)
+    return candidates
+
+
+def dual_stack_origins(v4_atoms: AtomSet, v6_atoms: AtomSet) -> List[int]:
+    """Origins announcing in both families."""
+    return sorted(
+        set(v4_atoms.atoms_by_origin()) & set(v6_atoms.atoms_by_origin())
+    )

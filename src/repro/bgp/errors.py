@@ -1,0 +1,19 @@
+"""Exception hierarchy for the BGP substrate."""
+
+
+class BGPError(Exception):
+    """Base class for all BGP-substrate errors."""
+
+
+class CorruptRecordError(BGPError):
+    """A record could not be interpreted.
+
+    Mirrors BGPStream warnings such as "unknown BGP4MP record subtype 9",
+    "Duplicate Path Attribute", and "Invalid MP(UN)REACH NLRI" that the
+    paper uses to fingerprint ADD-PATH-incompatible peers (A8.3.1).
+    The ``warning`` attribute carries the fingerprint string.
+    """
+
+    def __init__(self, message: str, warning: str = ""):
+        super().__init__(message)
+        self.warning = warning or message

@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+Three subcommands mirror the measurement workflow:
+
+* ``repro simulate`` — render a simulated snapshot (and optionally the
+  following update stream) into an on-disk archive;
+* ``repro atoms``    — compute policy atoms from an archive or directly
+  from a fresh simulation, printing the statistics and the
+  sanitization report;
+* ``repro trend``    — run a quick longitudinal sweep and print the
+  per-year atom trends.
+
+Run ``python -m repro <command> --help`` for the options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.longitudinal import LongitudinalStudy
+from repro.core.formation import formation_distances
+from repro.core.pipeline import compute_policy_atoms
+from repro.core.statistics import general_stats
+from repro.net.prefix import AF_INET, AF_INET6
+from repro.reporting.tables import render_table
+from repro.simulation.scenario import SimulatedInternet
+from repro.stream.archive import RecordArchive
+from repro.stream.bgpstream import BGPStream
+from repro.topology.evolution import WorldParams
+from repro.util.dates import parse_utc
+
+
+def _world_params(args: argparse.Namespace) -> WorldParams:
+    scale = 1.0 / args.scale
+    return WorldParams(
+        seed=args.seed,
+        as_scale=scale,
+        prefix_scale=scale,
+        peer_scale=args.peer_scale,
+        collector_scale=0.3,
+        min_fullfeed_peers=8,
+    )
+
+
+def _add_world_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=int, default=200,
+                        help="world scale divisor (default: 1/200 of the Internet)")
+    parser.add_argument("--seed", type=int, default=20250701)
+    parser.add_argument("--peer-scale", type=float, default=0.04, dest="peer_scale")
+    parser.add_argument("--family", type=int, choices=(4, 6), default=4)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Handle ``repro simulate``."""
+    params = _world_params(args)
+    stamp = parse_utc(args.start)
+    family = AF_INET if args.family == 4 else AF_INET6
+    internet = SimulatedInternet(params, start=stamp)
+    archive = RecordArchive(args.archive)
+    rib_files = archive.write_dump(
+        internet.rib_records(stamp, family=family), dump_timestamp=stamp
+    )
+    print(f"wrote {len(rib_files)} RIB dump files to {args.archive}")
+    if args.update_hours > 0:
+        update_files = archive.write_dump(
+            internet.update_records(stamp, hours=args.update_hours, family=family),
+            dump_timestamp=stamp,
+        )
+        print(f"wrote {len(update_files)} update dump files "
+              f"({args.update_hours:g} h window)")
+    return 0
+
+
+def cmd_atoms(args: argparse.Namespace) -> int:
+    """Handle ``repro atoms``."""
+    family = AF_INET if args.family == 4 else AF_INET6
+    if args.archive:
+        stream = BGPStream(RecordArchive(args.archive), record_type="rib")
+        records = stream.records()
+        source = args.archive
+    else:
+        params = _world_params(args)
+        internet = SimulatedInternet(params, start=args.start)
+        records = internet.rib_records(args.start, family=family)
+        source = f"simulation @ {args.start}"
+    result = compute_policy_atoms(records)
+
+    report = result.report
+    print(f"source: {source}")
+    print(f"vantage points: {report.fullfeed_peers} full-feed "
+          f"({report.partial_peers} partial excluded)")
+    if report.removed_peers:
+        removals = ", ".join(
+            f"AS{asn} ({reason})" for asn, reason in sorted(report.removed_peers.items())
+        )
+        print(f"abnormal peers removed: {removals}")
+    print(f"prefixes: {report.prefixes_kept:,} kept / {report.prefixes_total:,} seen")
+    print()
+    print(render_table(["metric", "value"], general_stats(result.atoms).rows(),
+                       title="Policy atom statistics"))
+    if args.formation:
+        shares = formation_distances(result.atoms).distance_shares()
+        print()
+        print(render_table(
+            ["distance", "share of atoms"],
+            [(d, f"{s:.1%}") for d, s in shares.items()],
+            title="Formation distance",
+        ))
+    return 0
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    """Handle ``repro trend``."""
+    params = _world_params(args)
+    family = AF_INET if args.family == 4 else AF_INET6
+    years = list(range(args.first_year, args.last_year + 1, args.step))
+    internet = SimulatedInternet(params, start=f"{years[0]}-01-01")
+    study = LongitudinalStudy(internet, family=family)
+    results = study.run_years(years, with_stability=not args.no_stability)
+    rows = []
+    for result in results:
+        stats = result.stats
+        row: List[object] = [
+            result.year,
+            f"{stats.n_prefixes:,}",
+            f"{stats.n_atoms:,}",
+            f"{stats.mean_atom_size:.2f}",
+            f"{result.formation_shares.get(1, 0):.0%}",
+            f"{result.formation_shares.get(3, 0):.0%}",
+        ]
+        if result.stability:
+            row.append(f"{result.stability['8h'][0]:.1%}")
+        rows.append(row)
+    headers = ["year", "prefixes", "atoms", "mean size", "formed@1", "formed@3"]
+    if results and results[0].stability:
+        headers.append("CAM 8h")
+    print(render_table(headers, rows, title="Longitudinal atom trend"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Policy-atom replication toolkit (IMC 2025)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="render a simulated snapshot into an archive"
+    )
+    _add_world_options(simulate)
+    simulate.add_argument("--start", default="2024-10-15 08:00")
+    simulate.add_argument("--archive", type=Path, required=True)
+    simulate.add_argument("--update-hours", type=float, default=0.0,
+                          dest="update_hours")
+    simulate.set_defaults(handler=cmd_simulate)
+
+    atoms = commands.add_parser(
+        "atoms", help="compute policy atoms and print statistics"
+    )
+    _add_world_options(atoms)
+    atoms.add_argument("--archive", type=Path, default=None,
+                       help="read records from this archive instead of simulating")
+    atoms.add_argument("--start", default="2024-10-15 08:00")
+    atoms.add_argument("--formation", action="store_true",
+                       help="also print the formation-distance distribution")
+    atoms.set_defaults(handler=cmd_atoms)
+
+    trend = commands.add_parser(
+        "trend", help="run a quick longitudinal sweep"
+    )
+    _add_world_options(trend)
+    trend.add_argument("--first-year", type=int, default=2004, dest="first_year")
+    trend.add_argument("--last-year", type=int, default=2024, dest="last_year")
+    trend.add_argument("--step", type=int, default=4)
+    trend.add_argument("--no-stability", action="store_true", dest="no_stability")
+    trend.set_defaults(handler=cmd_trend)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Policy atoms as a lens on BGP dynamics (paper §7.2).
+
+The paper's observation: prefixes inside an atom change AS path
+together, so an update burst touching a *whole* atom reflects a policy
+change or network event, whereas churn confined to one prefix of a
+multi-prefix atom is "far more likely to be noise, leakage or transient
+misconfiguration".  This module classifies update records accordingly,
+enabling the flap filtering the paper proposes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.messages import RouteRecord
+from repro.core.atoms import AtomSet
+from repro.net.prefix import Prefix
+
+#: Classification labels.
+EVENT_ATOM = "atom_event"          # a whole atom moved together
+EVENT_PARTIAL = "partial_event"    # several prefixes of an atom, not all
+EVENT_NOISE = "single_prefix_noise"  # lone prefix of a multi-prefix atom
+EVENT_SINGLETON = "singleton"      # a single-prefix atom updated
+
+
+@dataclass
+class ClassifiedEvent:
+    """One update record, classified against the atom structure."""
+
+    record: RouteRecord
+    label: str
+    #: atoms touched: atom_id -> (touched prefixes, atom size)
+    atoms_touched: Dict[int, Tuple[int, int]]
+
+    @property
+    def is_noise(self) -> bool:
+        return self.label == EVENT_NOISE
+
+
+@dataclass
+class DynamicsSummary:
+    """Aggregate view of a classified update window."""
+
+    events: List[ClassifiedEvent] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts per classification label."""
+        tally: Dict[str, int] = defaultdict(int)
+        for event in self.events:
+            tally[event.label] += 1
+        return dict(tally)
+
+    def noise_share(self) -> float:
+        """Share of events classified as single-prefix noise."""
+        if not self.events:
+            return 0.0
+        return sum(1 for event in self.events if event.is_noise) / len(self.events)
+
+    def filtered(self) -> List[ClassifiedEvent]:
+        """Events surviving the paper's proposed flap filter: everything
+        except single-prefix churn inside multi-prefix atoms."""
+        return [event for event in self.events if not event.is_noise]
+
+
+def classify_updates(
+    atom_set: AtomSet,
+    records: Iterable[RouteRecord],
+) -> DynamicsSummary:
+    """Classify each update record against the atom structure.
+
+    * ``atom_event`` — the record covers every prefix of at least one
+      multi-prefix atom (prefixes moved together: a real policy event);
+    * ``partial_event`` — it touches several prefixes of some atom but
+      never a complete one;
+    * ``single_prefix_noise`` — it touches exactly one prefix, which
+      belongs to a multi-prefix atom (the paper's likely-noise case);
+    * ``singleton`` — it touches single-prefix atoms only.
+    """
+    summary = DynamicsSummary()
+    for record in records:
+        if record.record_type != "update":
+            continue
+        prefixes = record.prefixes()
+        touched: Dict[int, int] = defaultdict(int)
+        for prefix in prefixes:
+            atom = atom_set.atom_of(prefix)
+            if atom is not None:
+                touched[atom.atom_id] += 1
+        if not touched:
+            continue
+        atoms_touched = {
+            atom_id: (count, _atom_size(atom_set, atom_id))
+            for atom_id, count in touched.items()
+        }
+
+        full_multi = any(
+            count == size and size > 1
+            for count, size in atoms_touched.values()
+        )
+        multi_touch = any(count > 1 for count, _ in atoms_touched.values())
+        lone_in_multi = (
+            len(prefixes) == 1
+            and all(size > 1 for _, size in atoms_touched.values())
+        )
+        if full_multi:
+            label = EVENT_ATOM
+        elif lone_in_multi:
+            label = EVENT_NOISE
+        elif multi_touch or any(count < size for count, size in atoms_touched.values()):
+            if all(size == 1 for _, size in atoms_touched.values()):
+                label = EVENT_SINGLETON
+            else:
+                label = EVENT_PARTIAL
+        else:
+            label = EVENT_SINGLETON
+        summary.events.append(
+            ClassifiedEvent(record=record, label=label, atoms_touched=atoms_touched)
+        )
+    return summary
+
+
+def _atom_size(atom_set: AtomSet, atom_id: int) -> int:
+    # AtomSet stores atoms in id order (ids are assigned sequentially).
+    atom = atom_set.atoms[atom_id] if atom_id < len(atom_set.atoms) else None
+    if atom is not None and atom.atom_id == atom_id:
+        return atom.size
+    for candidate in atom_set.atoms:  # pragma: no cover - defensive
+        if candidate.atom_id == atom_id:
+            return candidate.size
+    raise KeyError(atom_id)
+
+
+def stable_atom_priority(
+    atom_set: AtomSet,
+    summary: DynamicsSummary,
+    historically_stable: Optional[Set[int]] = None,
+) -> List[ClassifiedEvent]:
+    """Rank surviving events, whole-atom changes to stable atoms first.
+
+    Implements the paper's suggestion to "prioritize events that affect
+    historically stable atoms".  ``historically_stable`` is a set of
+    atom ids (e.g. atoms unchanged across prior snapshots); when absent,
+    larger atoms rank first as a proxy.
+    """
+    def key(event: ClassifiedEvent):
+        full_atoms = [
+            atom_id
+            for atom_id, (count, size) in event.atoms_touched.items()
+            if count == size and size > 1
+        ]
+        stable_hits = (
+            len([a for a in full_atoms if a in historically_stable])
+            if historically_stable is not None
+            else 0
+        )
+        biggest = max(
+            (size for _, size in event.atoms_touched.values()), default=0
+        )
+        return (-stable_hits, 0 if full_atoms else 1, -biggest)
+
+    return sorted(summary.filtered(), key=key)

@@ -1,0 +1,282 @@
+"""Formation distance of policy atoms (§3.4, §4.3).
+
+The *splitting point* between two atoms of the same origin is the first
+AS, counted from the origin, at which their AS paths diverge at some
+vantage point; the *formation distance* of an atom is the largest
+splitting point against any sibling atom — the distance at which it
+becomes distinguishable from all of them.
+
+Prepending handling follows the paper's discussion of three methods:
+
+* **method (i)** — strip prepending before grouping (pass
+  ``strip_prepending=True`` to ``compute_atoms``; distances then behave
+  like method (iii) on the pre-stripped paths);
+* **method (ii)** — group on raw paths, strip prepending before
+  measuring distance; atom pairs whose stripped paths coincide are
+  indistinguishable and are skipped;
+* **method (iii)** — the adopted method: group on raw paths, count
+  unique ASes when measuring, and attribute pure-prepending differences
+  to the origin (distance 1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.atoms import AtomSet, PolicyAtom
+
+FORMATION_METHOD_II = "ii"
+FORMATION_METHOD_III = "iii"
+
+#: Sentinel: the pair never diverges at any vantage point.
+NO_SPLIT = 10**9
+
+# Reasons an atom forms at distance 1 (§4.3 breakdown).
+REASON_SINGLE = "single_atom_origin"
+REASON_UNIQUE_PEERS = "unique_peer_set"
+REASON_PREPEND = "prepending"
+REASON_PATH = "path_divergence"
+
+
+def split_point(
+    stripped_a: Optional[Tuple[int, ...]],
+    stripped_b: Optional[Tuple[int, ...]],
+    raw_equal: bool,
+    method: str = FORMATION_METHOD_III,
+) -> int:
+    """Splitting point at one vantage point, counted from the origin.
+
+    ``stripped_*`` are origin-first unique-AS sequences (None = the atom
+    is absent from this vantage point); ``raw_equal`` tells whether the
+    unstripped paths coincide.  Returns 1-based distance, or
+    ``NO_SPLIT`` when the paths do not distinguish the atoms here.
+    """
+    if stripped_a is None and stripped_b is None:
+        return NO_SPLIT
+    if stripped_a is None or stripped_b is None:
+        return 1
+    if stripped_a == stripped_b:
+        if raw_equal:
+            return NO_SPLIT
+        # Pure prepending difference.
+        return 1 if method == FORMATION_METHOD_III else NO_SPLIT
+    shorter = min(len(stripped_a), len(stripped_b))
+    for index in range(shorter):
+        if stripped_a[index] != stripped_b[index]:
+            return index + 1
+    # One sequence is a proper prefix of the other: they diverge at the
+    # first position the shorter one lacks.
+    return shorter + 1
+
+
+def _atom_profiles(atom: PolicyAtom) -> List[Tuple[Optional[Tuple[int, ...]], Optional[Tuple[int, ...]]]]:
+    """Per-VP (stripped origin-first, raw origin-first) sequences."""
+    profiles = []
+    for path in atom.paths:
+        if path is None:
+            profiles.append((None, None))
+        else:
+            raw = tuple(reversed(path.asns()))
+            stripped = tuple(reversed(path.strip_prepending()))
+            profiles.append((stripped, raw))
+    return profiles
+
+
+def atom_pair_split(
+    profiles_a: Sequence[Tuple[Optional[Tuple[int, ...]], Optional[Tuple[int, ...]]]],
+    profiles_b: Sequence[Tuple[Optional[Tuple[int, ...]], Optional[Tuple[int, ...]]]],
+    method: str = FORMATION_METHOD_III,
+) -> int:
+    """Overall splitting point: earliest divergence at any vantage point."""
+    best = NO_SPLIT
+    for (stripped_a, raw_a), (stripped_b, raw_b) in zip(profiles_a, profiles_b):
+        point = split_point(stripped_a, stripped_b, raw_a == raw_b, method)
+        if point < best:
+            best = point
+            if best == 1:
+                break
+    return best
+
+
+@dataclass
+class FormationResult:
+    """Per-atom distances plus the paper's derived views."""
+
+    method: str
+    distances: Dict[int, int] = field(default_factory=dict)  # atom_id -> d
+    reasons: Dict[int, str] = field(default_factory=dict)    # distance-1 only
+    dmin_per_origin: Dict[int, int] = field(default_factory=dict)
+    dmax_per_origin: Dict[int, int] = field(default_factory=dict)
+    #: atom_id of atoms indistinguishable under method (ii)
+    excluded: List[int] = field(default_factory=list)
+    #: origins with a single atom (their atoms get distance 1)
+    single_atom_origins: int = 0
+
+    def distribution(self) -> Counter:
+        """Counter: formation distance -> atom count."""
+        return Counter(self.distances.values())
+
+    def distance_shares(self, max_distance: int = 5) -> Dict[int, float]:
+        """{distance: share of atoms}; the last bucket absorbs the tail."""
+        counts = self.distribution()
+        total = sum(counts.values())
+        if not total:
+            return {d: 0.0 for d in range(1, max_distance + 1)}
+        shares: Dict[int, float] = {}
+        for distance in range(1, max_distance + 1):
+            if distance == max_distance:
+                value = sum(c for d, c in counts.items() if d >= distance)
+            else:
+                value = counts.get(distance, 0)
+            shares[distance] = value / total
+        return shares
+
+    def cumulative_shares(self, max_distance: int = 10) -> List[Tuple[int, float]]:
+        """Cumulative '% atoms formed at distance <= d' (Figure 1)."""
+        counts = self.distribution()
+        total = sum(counts.values())
+        points: List[Tuple[int, float]] = []
+        running = 0
+        for distance in range(1, max_distance + 1):
+            running += counts.get(distance, 0)
+            points.append((distance, running / total if total else 0.0))
+        return points
+
+    def shares_excluding_single_origins(self, atom_set: AtomSet,
+                                        max_distance: int = 5) -> Dict[int, float]:
+        """Distance shares over atoms from multi-atom origins only
+        (the dashed lines of Figure 4 / 11)."""
+        multi_atoms: List[int] = []
+        for atoms in atom_set.atoms_by_origin().values():
+            if len(atoms) > 1:
+                multi_atoms.extend(atom.atom_id for atom in atoms)
+        counts = Counter(
+            self.distances[atom_id]
+            for atom_id in multi_atoms
+            if atom_id in self.distances
+        )
+        total = sum(counts.values())
+        shares: Dict[int, float] = {}
+        for distance in range(1, max_distance + 1):
+            if distance == max_distance:
+                value = sum(c for d, c in counts.items() if d >= distance)
+            else:
+                value = counts.get(distance, 0)
+            shares[distance] = (value / total) if total else 0.0
+        return shares
+
+    def first_split_distribution(self) -> Counter:
+        """d_min(o) distribution: '% first atoms split at distance'."""
+        return Counter(self.dmin_per_origin.values())
+
+    def last_split_distribution(self) -> Counter:
+        """d_max(o) distribution: '% all atoms split at distance'."""
+        return Counter(self.dmax_per_origin.values())
+
+    def reason_shares(self) -> Dict[str, float]:
+        """Breakdown of distance-1 atoms by cause (§4.3)."""
+        total = len(self.distances)
+        if not total:
+            return {}
+        counts = Counter(self.reasons.values())
+        return {reason: count / total for reason, count in counts.items()}
+
+
+def formation_distances(
+    atom_set: AtomSet,
+    method: str = FORMATION_METHOD_III,
+    include_moas: bool = False,
+) -> FormationResult:
+    """Compute formation distances for every atom.
+
+    An origin's lone atom has distance 1 by definition.  Atoms with a
+    MOAS conflict are excluded by default, following Afek et al.'s
+    treatment ("they do not consider atoms with MOAS conflict during one
+    of their analysis", §2.4.3): a mixed-origin path vector would make
+    the origin-anchored distance ill-defined.
+    """
+    if method not in (FORMATION_METHOD_II, FORMATION_METHOD_III):
+        raise ValueError(f"unknown formation method {method!r}")
+    result = FormationResult(method=method)
+
+    profiles_cache: Dict[int, List] = {}
+
+    def profiles_of(atom: PolicyAtom):
+        cached = profiles_cache.get(atom.atom_id)
+        if cached is None:
+            cached = _atom_profiles(atom)
+            profiles_cache[atom.atom_id] = cached
+        return cached
+
+    by_origin = atom_set.atoms_by_origin()
+    if not include_moas:
+        filtered: Dict[int, List[PolicyAtom]] = {}
+        for origin, atoms in by_origin.items():
+            kept = [atom for atom in atoms if len(atom.origins()) == 1]
+            if kept:
+                filtered[origin] = kept
+        by_origin = filtered
+
+    for origin, atoms in by_origin.items():
+        if len(atoms) == 1:
+            atom = atoms[0]
+            previous = result.distances.get(atom.atom_id, 0)
+            result.distances[atom.atom_id] = max(previous, 1)
+            result.reasons.setdefault(atom.atom_id, REASON_SINGLE)
+            result.single_atom_origins += 1
+            result.dmin_per_origin[origin] = 1
+            result.dmax_per_origin[origin] = 1
+            continue
+
+        per_atom_distance: Dict[int, int] = {}
+        per_atom_reason: Dict[int, str] = {}
+        for index, atom in enumerate(atoms):
+            profiles_a = profiles_of(atom)
+            worst = 0
+            reason = REASON_PATH
+            comparable = False
+            for jndex, other in enumerate(atoms):
+                if jndex == index:
+                    continue
+                split = atom_pair_split(profiles_a, profiles_of(other), method)
+                if split >= NO_SPLIT:
+                    continue  # indistinguishable pair (method ii)
+                comparable = True
+                if split > worst:
+                    worst = split
+            if not comparable:
+                result.excluded.append(atom.atom_id)
+                continue
+            per_atom_distance[atom.atom_id] = worst
+            if worst == 1:
+                # Attribute the distance-1 cause: a missing path at some
+                # VP (unique peer set) outranks pure prepending.
+                has_empty = any(
+                    (pa[0] is None) != (pb[0] is None)
+                    for other in atoms
+                    if other.atom_id != atom.atom_id
+                    for pa, pb in zip(profiles_a, profiles_of(other))
+                )
+                per_atom_reason[atom.atom_id] = (
+                    REASON_UNIQUE_PEERS if has_empty else REASON_PREPEND
+                )
+
+        for atom_id, distance in per_atom_distance.items():
+            previous = result.distances.get(atom_id, 0)
+            result.distances[atom_id] = max(previous, distance)
+            if distance == 1 and atom_id in per_atom_reason:
+                result.reasons.setdefault(atom_id, per_atom_reason[atom_id])
+        if per_atom_distance:
+            result.dmin_per_origin[origin] = min(per_atom_distance.values())
+            result.dmax_per_origin[origin] = max(per_atom_distance.values())
+
+    # Clean up reasons for atoms whose final distance exceeded 1 (MOAS
+    # atoms can gain distance under a second origin).
+    result.reasons = {
+        atom_id: reason
+        for atom_id, reason in result.reasons.items()
+        if result.distances.get(atom_id) == 1
+    }
+    return result

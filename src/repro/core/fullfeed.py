@@ -1,0 +1,56 @@
+"""Full-feed peer inference (§2.4.2).
+
+Collector projects do not track which peers send full tables, so the
+paper infers it: a peer is *full-feed* when it shares data for more than
+90 % of the maximum unique-prefix count any peer shares in the snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bgp.rib import PeerId, RIBSnapshot
+
+DEFAULT_FULLFEED_RATIO = 0.9
+
+
+def full_feed_threshold(snapshot: RIBSnapshot,
+                        ratio: float = DEFAULT_FULLFEED_RATIO) -> int:
+    """The prefix-count threshold: ``ratio`` x the maximum peer count.
+
+    This is the quantity plotted in the paper's Figure 12 (up to the
+    ratio factor: the figure shows the maximum itself).
+    """
+    counts = snapshot.prefix_count_by_peer()
+    if not counts:
+        return 0
+    return int(max(counts.values()) * ratio)
+
+
+def full_feed_peers(snapshot: RIBSnapshot,
+                    ratio: float = DEFAULT_FULLFEED_RATIO) -> List[PeerId]:
+    """Peers whose unique-prefix count clears the full-feed threshold."""
+    counts = snapshot.prefix_count_by_peer()
+    if not counts:
+        return []
+    threshold = max(counts.values()) * ratio
+    return sorted(
+        peer_id for peer_id, count in counts.items() if count > threshold
+    )
+
+
+def feed_summary(snapshot: RIBSnapshot,
+                 ratio: float = DEFAULT_FULLFEED_RATIO) -> Dict[str, object]:
+    """Threshold, full-feed and partial-feed peer counts (Fig. 12/13)."""
+    counts = snapshot.prefix_count_by_peer()
+    if not counts:
+        return {"max_prefixes": 0, "threshold": 0, "full_feed": 0, "partial": 0}
+    maximum = max(counts.values())
+    threshold = maximum * ratio
+    full = sum(1 for count in counts.values() if count > threshold)
+    return {
+        "max_prefixes": maximum,
+        "threshold": int(threshold),
+        "full_feed": full,
+        "partial": len(counts) - full,
+    }

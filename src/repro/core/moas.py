@@ -1,0 +1,65 @@
+"""Multi-Origin AS (MOAS) prefix identification (§2.4.3).
+
+The paper verifies MOAS prefixes stay below 5 % of the table and keeps
+them: two prefixes can only share an atom if they share every AS path,
+hence the same origin, so MOAS prefixes cannot contaminate other atoms.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from repro.bgp.rib import PeerId, RIBSnapshot
+from repro.net.prefix import Prefix
+
+
+def moas_prefixes(
+    snapshot: RIBSnapshot,
+    vantage_points: Optional[Sequence[PeerId]] = None,
+    prefixes: Optional[Iterable[Prefix]] = None,
+) -> Dict[Prefix, Set[int]]:
+    """Prefixes announced with more than one origin AS, with the origins.
+
+    A prefix is MOAS when different vantage points (or the same one over
+    time, which a single snapshot cannot see) attribute it to different
+    rightmost ASNs.
+    """
+    if vantage_points is None:
+        vantage_points = snapshot.peers()
+    wanted = set(prefixes) if prefixes is not None else None
+    origins: Dict[Prefix, Set[int]] = defaultdict(set)
+    for peer_id in vantage_points:
+        table = snapshot.table(peer_id)
+        if table is None:
+            continue
+        for prefix, attributes in table.items():
+            if wanted is not None and prefix not in wanted:
+                continue
+            origin = attributes.as_path.origin
+            if origin is not None:
+                origins[prefix].add(origin)
+    return {
+        prefix: found for prefix, found in origins.items() if len(found) > 1
+    }
+
+
+def moas_share(
+    snapshot: RIBSnapshot,
+    vantage_points: Optional[Sequence[PeerId]] = None,
+    prefixes: Optional[Iterable[Prefix]] = None,
+) -> float:
+    """Fraction of prefixes that are MOAS (the paper's < 5 % check)."""
+    if vantage_points is None:
+        vantage_points = snapshot.peers()
+    universe: Set[Prefix] = set()
+    for peer_id in vantage_points:
+        table = snapshot.table(peer_id)
+        if table is not None:
+            universe |= table.prefixes()
+    if prefixes is not None:
+        universe &= set(prefixes)
+    if not universe:
+        return 0.0
+    conflicted = moas_prefixes(snapshot, vantage_points, universe)
+    return len(conflicted) / len(universe)

@@ -1,0 +1,51 @@
+"""End-to-end convenience: records in, atoms out.
+
+``compute_policy_atoms`` bundles sanitization and atom computation the
+way every analysis in the paper consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.bgp.messages import RouteRecord
+from repro.core.atoms import AtomSet, compute_atoms
+from repro.core.sanitize import CleanDataset, SanitizationConfig, sanitize
+
+
+@dataclass
+class AtomComputation:
+    """Atoms plus the sanitized dataset they were computed from."""
+
+    atoms: AtomSet
+    dataset: CleanDataset
+
+    @property
+    def report(self):
+        return self.dataset.report
+
+    @property
+    def timestamp(self) -> int:
+        return self.dataset.timestamp
+
+
+def compute_policy_atoms(
+    records: Iterable[RouteRecord],
+    config: Optional[SanitizationConfig] = None,
+    strip_prepending: bool = False,
+) -> AtomComputation:
+    """Sanitize raw RIB records and compute policy atoms.
+
+    ``strip_prepending`` switches to formation-distance method (i)
+    grouping (prepending removed before atoms are formed); leave False
+    for the paper's adopted method.
+    """
+    dataset = sanitize(records, config)
+    atoms = compute_atoms(
+        dataset.snapshot,
+        vantage_points=dataset.vantage_points,
+        prefixes=dataset.prefixes,
+        strip_prepending=strip_prepending,
+    )
+    return AtomComputation(atoms=atoms, dataset=dataset)

@@ -1,0 +1,157 @@
+"""Atom split detection and observer counting (§4.4.1).
+
+Over three consecutive snapshots t, t+1, t+2: an atom (identified by
+its prefix composition) present at t and t+1 is *split* if at t+2 any
+of its prefixes live in different atoms.  For each split, the observers
+are the vantage points that saw all the atom's prefixes share one path
+at t+1 but see them diverge at t+2 — the count answers "how widely is
+this split visible", which the paper uses to argue for careful vantage
+point selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.rib import PeerId
+from repro.core.atoms import AtomSet, PolicyAtom
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class SplitEvent:
+    """One atom split, with the vantage points that can see it."""
+
+    prefixes: FrozenSet[Prefix]
+    #: number of distinct atoms the prefixes landed in at t+2
+    fragment_count: int
+    #: vantage points observing the divergence
+    observers: Tuple[PeerId, ...]
+
+    @property
+    def observer_count(self) -> int:
+        return len(self.observers)
+
+
+def _observers_of_split(
+    atom: PolicyAtom,
+    before: AtomSet,
+    after: AtomSet,
+) -> Tuple[PeerId, ...]:
+    """VPs that saw one shared path at t+1 and divergent paths at t+2.
+
+    AS paths are not compared across snapshots (the whole path set may
+    legitimately change while the grouping persists); what counts is
+    whether the prefixes still share a path *within* t+2.
+    """
+    prefixes = list(atom.prefixes)
+    observers: List[PeerId] = []
+    vp_index_after = {peer: i for i, peer in enumerate(after.vantage_points)}
+    for vp_position, peer in enumerate(before.vantage_points):
+        # At t+1 the atom's prefixes share paths by construction; the VP
+        # qualifies only if it actually carried the atom.
+        if atom.paths[vp_position] is None:
+            continue
+        after_position = vp_index_after.get(peer)
+        if after_position is None:
+            continue
+        seen_paths = set()
+        for prefix in prefixes:
+            later_atom = after.atom_of(prefix)
+            path = (
+                later_atom.paths[after_position] if later_atom is not None else None
+            )
+            seen_paths.add(path)
+            if len(seen_paths) > 1:
+                break
+        if len(seen_paths) > 1:
+            observers.append(peer)
+    return tuple(observers)
+
+
+def detect_splits(
+    first: AtomSet,
+    second: AtomSet,
+    third: AtomSet,
+) -> List[SplitEvent]:
+    """Split events across the (t, t+1, t+2) snapshot triple.
+
+    Merges are deliberately ignored (no vantage point changes its view
+    of the grouping when two atoms merge into one).
+    """
+    stable_sets = first.prefix_sets() & second.prefix_sets()
+    second_by_prefixes: Dict[FrozenSet[Prefix], PolicyAtom] = {
+        atom.prefixes: atom for atom in second
+    }
+    events: List[SplitEvent] = []
+    for prefix_set in stable_sets:
+        if len(prefix_set) < 2:
+            continue  # a single prefix cannot split
+        fragments: Set[int] = set()
+        missing = 0
+        for prefix in prefix_set:
+            later = third.atom_of(prefix)
+            if later is None:
+                missing += 1
+            else:
+                fragments.add(later.atom_id)
+        if not fragments:
+            # The whole atom vanished (withdrawn): no prefix is "present
+            # in a different atom", so per the paper this is not a split.
+            continue
+        fragment_count = len(fragments) + missing
+        if fragment_count <= 1:
+            continue
+        atom = second_by_prefixes[prefix_set]
+        observers = _observers_of_split(atom, second, third)
+        events.append(
+            SplitEvent(
+                prefixes=prefix_set,
+                fragment_count=fragment_count,
+                observers=observers,
+            )
+        )
+    return events
+
+
+def observer_count_distribution(events: Sequence[SplitEvent]) -> Dict[int, int]:
+    """{observer count: number of events} — the paper's Figure 6 input."""
+    distribution: Dict[int, int] = {}
+    for event in events:
+        distribution[event.observer_count] = (
+            distribution.get(event.observer_count, 0) + 1
+        )
+    return distribution
+
+
+def top_observer_breakdown(
+    events: Sequence[SplitEvent],
+) -> Dict[str, int]:
+    """Single- vs multi-observer events, and how concentrated the
+    single-observer events are on individual vantage points (Fig. 7).
+
+    Returns counts: ``multi``, ``single``, ``single_top``,
+    ``single_second``, ``single_rest``, and ``unobserved`` (splits whose
+    only witnesses did not carry the atom beforehand, so per the paper's
+    counting rule no vantage point qualifies as an observer).
+    """
+    single_events = [e for e in events if e.observer_count == 1]
+    multi = sum(1 for e in events if e.observer_count > 1)
+    unobserved = sum(1 for e in events if e.observer_count == 0)
+    per_vp: Dict[PeerId, int] = {}
+    for event in single_events:
+        vp = event.observers[0]
+        per_vp[vp] = per_vp.get(vp, 0) + 1
+    ranked = sorted(per_vp.values(), reverse=True)
+    top = ranked[0] if ranked else 0
+    second = ranked[1] if len(ranked) > 1 else 0
+    rest = sum(ranked[2:]) if len(ranked) > 2 else 0
+    return {
+        "multi": multi,
+        "single": len(single_events),
+        "single_top": top,
+        "single_second": second,
+        "single_rest": rest,
+        "unobserved": unobserved,
+    }

@@ -1,0 +1,79 @@
+"""Atom stability metrics (§3.5, §4.4).
+
+* **CAM** — complete atom match: the share of atoms at t1 whose exact
+  prefix set exists as an atom at t2;
+* **MPM** — maximized prefix match: the share of prefixes that stay
+  grouped under a greedy one-to-one atom mapping maximizing overlap.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.atoms import AtomSet, PolicyAtom
+from repro.net.prefix import Prefix
+
+
+def complete_atom_match(first: AtomSet, second: AtomSet) -> float:
+    """CAM(t1, t2): fraction of t1 atoms present unchanged at t2."""
+    if not len(first):
+        return 0.0
+    later_sets = second.prefix_sets()
+    unchanged = sum(1 for atom in first if atom.prefixes in later_sets)
+    return unchanged / len(first)
+
+
+def greedy_atom_mapping(first: AtomSet, second: AtomSet) -> Dict[int, int]:
+    """A one-to-one map (t1 atom id -> t2 atom id) greedily maximizing
+    total prefix overlap.
+
+    Candidate pairs are ranked by overlap size (descending) and taken
+    while both endpoints are free — the standard greedy matching the
+    paper describes.  Ties break deterministically by atom ids.
+    """
+    overlap: Dict[Tuple[int, int], int] = defaultdict(int)
+    by_prefix_second: Dict[Prefix, int] = {
+        prefix: atom.atom_id for atom in second for prefix in atom.prefixes
+    }
+    for atom in first:
+        for prefix in atom.prefixes:
+            target = by_prefix_second.get(prefix)
+            if target is not None:
+                overlap[(atom.atom_id, target)] += 1
+
+    pairs = sorted(
+        overlap.items(), key=lambda item: (-item[1], item[0][0], item[0][1])
+    )
+    mapping: Dict[int, int] = {}
+    used_second: Set[int] = set()
+    for (first_id, second_id), _count in pairs:
+        if first_id in mapping or second_id in used_second:
+            continue
+        mapping[first_id] = second_id
+        used_second.add(second_id)
+    return mapping
+
+
+def maximized_prefix_match(first: AtomSet, second: AtomSet) -> float:
+    """MPM(t1, t2): prefix share retained by the greedy atom mapping."""
+    total = sum(atom.size for atom in first)
+    if not total:
+        return 0.0
+    second_atoms = {atom.atom_id: atom for atom in second}
+    mapping = greedy_atom_mapping(first, second)
+    kept = 0
+    for atom in first:
+        target_id = mapping.get(atom.atom_id)
+        if target_id is None:
+            continue
+        kept += len(atom.prefixes & second_atoms[target_id].prefixes)
+    return kept / total
+
+
+def stability_pair(first: AtomSet, second: AtomSet) -> Tuple[float, float]:
+    """(CAM, MPM) in one call — the shape of the paper's Table 3 cells."""
+    return (
+        complete_atom_match(first, second),
+        maximized_prefix_match(first, second),
+    )

@@ -1,0 +1,111 @@
+"""General statistics of policy atoms (Table 1 / Table 4, Figure 2 / 8 / 14).
+
+Everything here is a pure function of an :class:`AtomSet`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.atoms import AtomSet
+
+
+@dataclass(frozen=True)
+class GeneralStats:
+    """The rows of the paper's Table 1 / Table 4."""
+
+    n_prefixes: int
+    n_ases: int
+    n_ases_one_atom: int
+    n_atoms: int
+    n_single_prefix_atoms: int
+    mean_atom_size: float
+    p99_atom_size: int
+    max_atom_size: int
+
+    @property
+    def ases_one_atom_share(self) -> float:
+        return self.n_ases_one_atom / self.n_ases if self.n_ases else 0.0
+
+    @property
+    def single_prefix_atom_share(self) -> float:
+        return self.n_single_prefix_atoms / self.n_atoms if self.n_atoms else 0.0
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """(label, formatted value) pairs in the paper's table order."""
+        return [
+            ("Number of prefixes", f"{self.n_prefixes:,}"),
+            ("Number of ASes", f"{self.n_ases:,}"),
+            (
+                "Number of ASes with one atom",
+                f"{self.n_ases_one_atom:,} ({self.ases_one_atom_share:.1%})",
+            ),
+            ("Number of atoms", f"{self.n_atoms:,}"),
+            (
+                "Number of atoms with one prefix",
+                f"{self.n_single_prefix_atoms:,} ({self.single_prefix_atom_share:.1%})",
+            ),
+            ("Mean atom size", f"{self.mean_atom_size:.2f}"),
+            ("99th percentile of atom size", f"{self.p99_atom_size}"),
+            ("Largest atom size", f"{self.max_atom_size:,}"),
+        ]
+
+
+def percentile(sorted_values: Sequence[int], fraction: float) -> int:
+    """Nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0
+    rank = max(0, min(len(sorted_values) - 1, int(fraction * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def general_stats(atom_set: AtomSet) -> GeneralStats:
+    """Compute the Table 1 statistics for one atom set."""
+    sizes = sorted(atom.size for atom in atom_set)
+    by_origin = atom_set.atoms_by_origin()
+    return GeneralStats(
+        n_prefixes=atom_set.prefix_count(),
+        n_ases=len(by_origin),
+        n_ases_one_atom=sum(1 for atoms in by_origin.values() if len(atoms) == 1),
+        n_atoms=len(atom_set),
+        n_single_prefix_atoms=sum(1 for size in sizes if size == 1),
+        mean_atom_size=(sum(sizes) / len(sizes)) if sizes else 0.0,
+        p99_atom_size=percentile(sizes, 0.99),
+        max_atom_size=sizes[-1] if sizes else 0,
+    )
+
+
+def atoms_per_as_distribution(atom_set: AtomSet) -> Counter:
+    """Counter: number of atoms -> number of ASes (Figure 2 left)."""
+    return Counter(len(atoms) for atoms in atom_set.atoms_by_origin().values())
+
+
+def prefixes_per_atom_distribution(atom_set: AtomSet) -> Counter:
+    """Counter: atom size -> number of atoms (Figure 2 right)."""
+    return Counter(atom.size for atom in atom_set)
+
+
+def prefixes_per_as_distribution(atom_set: AtomSet) -> Counter:
+    """Counter: distinct prefix count -> number of ASes (Figure 14)."""
+    counts: Counter = Counter()
+    for atoms in atom_set.atoms_by_origin().values():
+        prefixes = set()
+        for atom in atoms:
+            prefixes |= atom.prefixes
+        counts[len(prefixes)] += 1
+    return counts
+
+
+def cdf(distribution: Counter) -> List[Tuple[int, float]]:
+    """Cumulative distribution as ascending (value, cumulative share)."""
+    total = sum(distribution.values())
+    if not total:
+        return []
+    points: List[Tuple[int, float]] = []
+    running = 0
+    for value in sorted(distribution):
+        running += distribution[value]
+        points.append((value, running / total))
+    return points

@@ -1,0 +1,132 @@
+"""Correlation of atom structure with BGP update records (§3.3, §4.2).
+
+For every atom (or AS) with k prefixes and every update record that
+contains at least one of them, the record either contains all k (case
+2) or a strict subset (case 3).  ``Pr_full(k)`` is the share of case-2
+records — high for atoms, low for ASes, which is the paper's evidence
+that routing operates at the atom level.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.bgp.messages import RouteRecord
+from repro.core.atoms import AtomSet
+from repro.net.prefix import Prefix
+
+#: Group kinds reported by the analysis (the four curves of Figure 3).
+GROUP_ATOM = "atom"
+GROUP_AS = "as"
+GROUP_AS_MULTI_ATOM = "as_multi_atom"        # >= 1 atom with > 1 prefix
+GROUP_AS_SINGLE_ATOMS = "as_single_atoms"    # every atom single-prefix
+
+
+@dataclass
+class GroupCounts:
+    """N_all / N_partial for one prefix group."""
+
+    size: int
+    n_all: int = 0
+    n_partial: int = 0
+
+
+@dataclass
+class UpdateCorrelation:
+    """Per-group counters plus the aggregated Pr_full(k) curves."""
+
+    groups: Dict[str, Dict[int, GroupCounts]] = field(
+        default_factory=lambda: defaultdict(dict)
+    )
+    records_seen: int = 0
+
+    def pr_full(self, kind: str, size: int) -> Optional[float]:
+        """Pr_full(size) for one group kind; None when unobserved."""
+        n_all = 0
+        n_total = 0
+        for counts in self.groups.get(kind, {}).values():
+            if counts.size != size:
+                continue
+            n_all += counts.n_all
+            n_total += counts.n_all + counts.n_partial
+        if n_total == 0:
+            return None
+        return n_all / n_total
+
+    def curve(self, kind: str, max_size: int = 7) -> List[Tuple[int, Optional[float]]]:
+        """(k, Pr_full(k)) for k = 2..max_size (Figure 3 / 10 / 15)."""
+        return [(k, self.pr_full(kind, k)) for k in range(2, max_size + 1)]
+
+
+def _build_groups(atom_set: AtomSet) -> Dict[str, Dict[int, FrozenSet[Prefix]]]:
+    """Prefix membership of every analysed group kind."""
+    groups: Dict[str, Dict[int, FrozenSet[Prefix]]] = {
+        GROUP_ATOM: {},
+        GROUP_AS: {},
+        GROUP_AS_MULTI_ATOM: {},
+        GROUP_AS_SINGLE_ATOMS: {},
+    }
+    for atom in atom_set:
+        groups[GROUP_ATOM][atom.atom_id] = atom.prefixes
+
+    for origin, atoms in atom_set.atoms_by_origin().items():
+        prefixes: Set[Prefix] = set()
+        for atom in atoms:
+            prefixes |= atom.prefixes
+        frozen = frozenset(prefixes)
+        groups[GROUP_AS][origin] = frozen
+        if any(atom.size > 1 for atom in atoms):
+            groups[GROUP_AS_MULTI_ATOM][origin] = frozen
+        else:
+            groups[GROUP_AS_SINGLE_ATOMS][origin] = frozen
+    return groups
+
+
+def update_correlation(
+    atom_set: AtomSet,
+    records: Iterable[RouteRecord],
+    max_size: Optional[int] = None,
+) -> UpdateCorrelation:
+    """Count full/partial appearances of every group across records.
+
+    ``max_size`` skips groups larger than the cut-off (the paper plots
+    k <= 7, which covers 95 % of atoms).
+    """
+    membership = _build_groups(atom_set)
+
+    # prefix -> [(kind, group_id)] reverse index, plus per-group sizes.
+    reverse: Dict[Prefix, List[Tuple[str, int]]] = defaultdict(list)
+    sizes: Dict[Tuple[str, int], int] = {}
+    for kind, by_id in membership.items():
+        for group_id, prefixes in by_id.items():
+            if max_size is not None and len(prefixes) > max_size:
+                continue
+            sizes[(kind, group_id)] = len(prefixes)
+            for prefix in prefixes:
+                reverse[prefix].append((kind, group_id))
+
+    result = UpdateCorrelation()
+    for record in records:
+        if record.record_type != "update":
+            continue
+        result.records_seen += 1
+        prefixes = record.prefixes()
+        touched: Dict[Tuple[str, int], int] = defaultdict(int)
+        for prefix in prefixes:
+            for key in reverse.get(prefix, ()):
+                touched[key] += 1
+        for key, hit_count in touched.items():
+            kind, group_id = key
+            size = sizes[key]
+            table = result.groups[kind]
+            counts = table.get(group_id)
+            if counts is None:
+                counts = GroupCounts(size=size)
+                table[group_id] = counts
+            if hit_count == size:
+                counts.n_all += 1
+            else:
+                counts.n_partial += 1
+    return result

@@ -1,0 +1,79 @@
+"""Prefix visibility analysis (§2.3-§2.4.3 background).
+
+The paper motivates its filtering with two observations about modern
+collection: "a significant share of prefixes are only visible by one
+or two BGP collector peers and many peers only share a partial routing
+table".  This module quantifies both, giving studies the evidence base
+for choosing visibility thresholds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bgp.rib import RIBSnapshot
+
+
+@dataclass(frozen=True)
+class VisibilityReport:
+    """Distributional view of prefix visibility in one snapshot."""
+
+    #: number of peer ASes seeing a prefix -> prefix count
+    by_peer_ases: Dict[int, int]
+    #: number of collectors seeing a prefix -> prefix count
+    by_collectors: Dict[int, int]
+    total_prefixes: int
+    total_peers: int
+    total_collectors: int
+
+    def share_seen_by_at_most(self, peer_ases: int) -> float:
+        """Share of prefixes visible to at most ``peer_ases`` peer ASes."""
+        if not self.total_prefixes:
+            return 0.0
+        count = sum(
+            prefixes
+            for seen_by, prefixes in self.by_peer_ases.items()
+            if seen_by <= peer_ases
+        )
+        return count / self.total_prefixes
+
+    def share_globally_visible(self, threshold_share: float = 0.8) -> float:
+        """Share of prefixes seen by >= ``threshold_share`` of all peers."""
+        if not self.total_prefixes or not self.total_peers:
+            return 0.0
+        needed = threshold_share * self.total_peers
+        count = sum(
+            prefixes
+            for seen_by, prefixes in self.by_peer_ases.items()
+            if seen_by >= needed
+        )
+        return count / self.total_prefixes
+
+    def peer_as_cdf(self) -> List[Tuple[int, float]]:
+        """Ascending (peer count, cumulative prefix share)."""
+        points: List[Tuple[int, float]] = []
+        running = 0
+        for seen_by in sorted(self.by_peer_ases):
+            running += self.by_peer_ases[seen_by]
+            points.append((seen_by, running / self.total_prefixes))
+        return points
+
+
+def visibility_report(snapshot: RIBSnapshot) -> VisibilityReport:
+    """Compute the visibility distributions for one snapshot."""
+    by_peers: Counter = Counter()
+    by_collectors: Counter = Counter()
+    visibility = snapshot.prefix_visibility()
+    for collectors, peer_ases in visibility.values():
+        by_peers[len(peer_ases)] += 1
+        by_collectors[len(collectors)] += 1
+    peer_ases_total = {asn for _, asn, _ in snapshot.peers()}
+    return VisibilityReport(
+        by_peer_ases=dict(by_peers),
+        by_collectors=dict(by_collectors),
+        total_prefixes=len(visibility),
+        total_peers=len(peer_ases_total),
+        total_collectors=len(snapshot.collectors()),
+    )

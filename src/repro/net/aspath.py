@@ -1,0 +1,285 @@
+"""AS path representation with AS_SEQUENCE / AS_SET segments.
+
+The policy-atom pipeline needs four AS-path operations that the paper
+leans on heavily:
+
+* detecting and expanding AS_SETs (§2.4.4: expand singleton sets, drop
+  paths with larger sets);
+* stripping prepending while keeping the raw path (formation-distance
+  method (iii), §3.4.2);
+* extracting the origin AS (MOAS detection, atom-per-AS grouping);
+* a canonical hashable form used as the atom grouping key.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.net.asn import validate_asn
+
+
+class SegmentType(IntEnum):
+    """BGP path-segment types (RFC 4271 §4.3)."""
+
+    AS_SET = 1
+    AS_SEQUENCE = 2
+
+
+class PathSegment:
+    """One AS_PATH segment: an ordered sequence or an unordered set."""
+
+    __slots__ = ("kind", "asns")
+
+    def __init__(self, kind: SegmentType, asns: Sequence[int]):
+        if not asns:
+            raise ValueError("empty path segment")
+        for asn in asns:
+            validate_asn(asn)
+        if kind == SegmentType.AS_SET:
+            # Canonicalise set ordering so equality/hashing is stable.
+            asns = tuple(sorted(set(asns)))
+        else:
+            asns = tuple(asns)
+        object.__setattr__(self, "kind", SegmentType(kind))
+        object.__setattr__(self, "asns", asns)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("PathSegment is immutable")
+
+    @property
+    def is_set(self) -> bool:
+        return self.kind == SegmentType.AS_SET
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PathSegment)
+            and self.kind == other.kind
+            and self.asns == other.asns
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.asns))
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.asns)
+
+    def __str__(self) -> str:
+        body = " ".join(str(a) for a in self.asns)
+        return "[" + body + "]" if self.is_set else body
+
+    def __repr__(self) -> str:
+        return f"PathSegment({self.kind.name}, {self.asns})"
+
+
+class ASPath:
+    """An AS path: the sequence of ASes from the collector peer to the origin.
+
+    The leftmost ASN is the vantage point's neighbour (the collector peer),
+    the rightmost ASN is the origin AS — the convention used in BGP dumps
+    and throughout the paper.
+    """
+
+    __slots__ = ("segments", "_hash")
+
+    def __init__(self, segments: Iterable[PathSegment]):
+        segments = tuple(segments)
+        object.__setattr__(self, "segments", segments)
+        object.__setattr__(self, "_hash", hash(segments))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ASPath is immutable")
+
+    @classmethod
+    def from_asns(cls, asns: Sequence[int]) -> "ASPath":
+        """Build a pure AS_SEQUENCE path from a list of ASNs."""
+        if not asns:
+            return cls(())
+        return cls((PathSegment(SegmentType.AS_SEQUENCE, asns),))
+
+    @classmethod
+    def parse(cls, text: str) -> "ASPath":
+        """Parse the textual form used in BGP dumps, e.g. ``"1 2 {3,4}"``.
+
+        Both ``{3,4}`` and ``[3 4]`` set spellings are accepted.
+        """
+        text = text.strip()
+        if not text:
+            return cls(())
+        segments: List[PathSegment] = []
+        run: List[int] = []
+        index = 0
+        while index < len(text):
+            char = text[index]
+            if char in "{[":
+                close = "}" if char == "{" else "]"
+                end = text.find(close, index)
+                if end < 0:
+                    raise ValueError(f"unterminated AS_SET in {text!r}")
+                inner = text[index + 1 : end].replace(",", " ")
+                members = [int(token) for token in inner.split()]
+                if run:
+                    segments.append(PathSegment(SegmentType.AS_SEQUENCE, run))
+                    run = []
+                segments.append(PathSegment(SegmentType.AS_SET, members))
+                index = end + 1
+            elif char.isspace() or char == ",":
+                index += 1
+            else:
+                end = index
+                while end < len(text) and text[end].isdigit():
+                    end += 1
+                if end == index:
+                    raise ValueError(f"unexpected character {char!r} in {text!r}")
+                run.append(int(text[index:end]))
+                index = end
+        if run:
+            segments.append(PathSegment(SegmentType.AS_SEQUENCE, run))
+        return cls(segments)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.segments
+
+    @property
+    def has_set(self) -> bool:
+        return any(segment.is_set for segment in self.segments)
+
+    def set_sizes(self) -> List[int]:
+        """Sizes of all AS_SET segments (empty list if none)."""
+        return [len(segment) for segment in self.segments if segment.is_set]
+
+    def asns(self) -> Tuple[int, ...]:
+        """All ASNs in order; AS_SET members appear in canonical order."""
+        result: List[int] = []
+        for segment in self.segments:
+            result.extend(segment.asns)
+        return tuple(result)
+
+    def hop_count(self) -> int:
+        """Path length as used in BGP best-path selection.
+
+        Each AS_SEQUENCE ASN counts 1; an AS_SET counts 1 regardless of
+        size (RFC 4271 §9.1.2.2).
+        """
+        count = 0
+        for segment in self.segments:
+            count += 1 if segment.is_set else len(segment)
+        return count
+
+    @property
+    def origin(self) -> Optional[int]:
+        """The origin AS (rightmost ASN), or None for an empty path.
+
+        If the rightmost segment is an AS_SET, the path has no single
+        well-defined origin and None is returned.
+        """
+        if not self.segments:
+            return None
+        last = self.segments[-1]
+        if last.is_set:
+            return None
+        return last.asns[-1]
+
+    @property
+    def peer(self) -> Optional[int]:
+        """The leftmost ASN: the collector peer's AS."""
+        if not self.segments:
+            return None
+        first = self.segments[0]
+        if first.is_set:
+            return None
+        return first.asns[0]
+
+    def expand_singleton_sets(self) -> "ASPath":
+        """Replace one-element AS_SETs with plain sequence hops (§2.4.4)."""
+        if not self.has_set:
+            return self
+        asns: List[int] = []
+        for segment in self.segments:
+            if segment.is_set and len(segment) > 1:
+                # Caller is expected to drop these paths; preserve as-is.
+                return self._expand_singletons_keeping_sets()
+            asns.extend(segment.asns)
+        return ASPath.from_asns(asns)
+
+    def _expand_singletons_keeping_sets(self) -> "ASPath":
+        segments: List[PathSegment] = []
+        run: List[int] = []
+        for segment in self.segments:
+            if segment.is_set and len(segment) > 1:
+                if run:
+                    segments.append(PathSegment(SegmentType.AS_SEQUENCE, run))
+                    run = []
+                segments.append(segment)
+            else:
+                run.extend(segment.asns)
+        if run:
+            segments.append(PathSegment(SegmentType.AS_SEQUENCE, run))
+        return ASPath(segments)
+
+    def strip_prepending(self) -> Tuple[int, ...]:
+        """Collapse consecutive duplicate ASNs: ``1 2 2 3`` -> ``(1, 2, 3)``.
+
+        Used by formation-distance method (iii): atoms are grouped on the
+        raw path, but hops are counted on the deduplicated path so
+        prepending does not inflate distances.
+        """
+        result: List[int] = []
+        for asn in self.asns():
+            if not result or result[-1] != asn:
+                result.append(asn)
+        return tuple(result)
+
+    def prepend_counts(self) -> List[Tuple[int, int]]:
+        """Run-length encode the path: ``1 2 2 3`` -> ``[(1,1),(2,2),(3,1)]``."""
+        runs: List[Tuple[int, int]] = []
+        for asn in self.asns():
+            if runs and runs[-1][0] == asn:
+                runs[-1] = (asn, runs[-1][1] + 1)
+            else:
+                runs.append((asn, 1))
+        return runs
+
+    @property
+    def has_prepending(self) -> bool:
+        return any(count > 1 for _, count in self.prepend_counts())
+
+    def has_loop(self) -> bool:
+        """True if any ASN appears in two non-adjacent positions."""
+        stripped = self.strip_prepending()
+        return len(set(stripped)) != len(stripped)
+
+    def contains_asn(self, asn: int) -> bool:
+        """True if ``asn`` appears anywhere in the path."""
+        return any(asn in segment.asns for segment in self.segments)
+
+    def key(self) -> Tuple:
+        """Hashable canonical form used as the atom grouping key."""
+        return tuple(
+            (int(segment.kind), segment.asns) for segment in self.segments
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ASPath) and self.segments == other.segments
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return self.hop_count()
+
+    def __bool__(self) -> bool:
+        return bool(self.segments)
+
+    def __str__(self) -> str:
+        return " ".join(str(segment) for segment in self.segments)
+
+    def __repr__(self) -> str:
+        return f"ASPath({str(self)!r})"
+
+
+EMPTY_PATH = ASPath(())

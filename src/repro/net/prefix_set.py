@@ -1,0 +1,163 @@
+"""Prefix-set operations: aggregation, coverage, and set algebra.
+
+Measurement pipelines constantly reason about *collections* of
+prefixes: "how much address space does this atom cover", "collapse
+these more-specifics to their aggregates", "does this update overlap
+that atom".  :class:`PrefixSet` provides those operations on top of the
+radix trie, per address family.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.net.prefix import AF_INET, AF_INET6, Prefix, aggregate
+from repro.net.trie import PrefixTrie
+
+
+class PrefixSet:
+    """A mutable set of prefixes of one address family."""
+
+    def __init__(self, prefixes: Iterable[Prefix] = (), family: Optional[int] = None):
+        self.family = family
+        self._trie: Optional[PrefixTrie] = None
+        self._members: Set[Prefix] = set()
+        for prefix in prefixes:
+            self.add(prefix)
+
+    def _ensure_family(self, prefix: Prefix) -> None:
+        if self.family is None:
+            self.family = prefix.family
+        elif prefix.family != self.family:
+            raise ValueError(
+                f"prefix family {prefix.family} does not match set family {self.family}"
+            )
+        if self._trie is None:
+            self._trie = PrefixTrie(self.family)
+
+    def add(self, prefix: Prefix) -> None:
+        """Insert ``prefix`` (idempotent)."""
+        self._ensure_family(prefix)
+        if prefix not in self._members:
+            self._members.add(prefix)
+            self._trie.insert(prefix, True)
+
+    def discard(self, prefix: Prefix) -> None:
+        """Remove ``prefix`` if present."""
+        if prefix in self._members:
+            self._members.discard(prefix)
+            self._trie.remove(prefix)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return iter(sorted(self._members, key=Prefix.key))
+
+    # ------------------------------------------------------------------
+    # Coverage queries
+    # ------------------------------------------------------------------
+
+    def covers(self, prefix: Prefix) -> bool:
+        """True if some member equals or contains ``prefix``."""
+        if self.family is None or prefix.family != self.family:
+            return False
+        return self._trie.longest_match(prefix) is not None
+
+    def covering_member(self, prefix: Prefix) -> Optional[Prefix]:
+        """The most specific member containing ``prefix``, if any."""
+        if self.family is None or prefix.family != self.family:
+            return None
+        match = self._trie.longest_match(prefix)
+        return match[0] if match else None
+
+    def more_specifics_of(self, prefix: Prefix) -> List[Prefix]:
+        """Members equal to or contained in ``prefix``."""
+        if self.family is None or prefix.family != self.family:
+            return []
+        return [member for member, _ in self._trie.covered(prefix)]
+
+    def address_span(self) -> int:
+        """Total addresses covered, counting overlapping space once.
+
+        Computed over the maximal members only (a /24 inside a /16 adds
+        nothing).
+        """
+        total = 0
+        for member in self.maximal_members():
+            total += 1 << (member.max_length - member.length)
+        return total
+
+    def maximal_members(self) -> List[Prefix]:
+        """Members not contained in any other member."""
+        result = []
+        for member in self._members:
+            # A member is maximal when no strictly-shorter member
+            # contains it; walk the supernet chain.
+            is_maximal = True
+            probe = member
+            while probe.length > 0:
+                probe = probe.supernet()
+                if probe in self._members:
+                    is_maximal = False
+                    break
+            if is_maximal:
+                result.append(member)
+        return sorted(result, key=Prefix.key)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def aggregated(self) -> "PrefixSet":
+        """Collapse the set to its minimal covering form.
+
+        Contained members are absorbed and complete sibling pairs merge
+        upward repeatedly — the classic CIDR aggregation.
+        """
+        current = set(self.maximal_members())
+        changed = True
+        while changed:
+            changed = False
+            for member in sorted(current, key=Prefix.key):
+                if member.length == 0 or member not in current:
+                    continue
+                sibling = member.sibling()
+                if sibling in current:
+                    parent = aggregate(member, sibling)
+                    current.discard(member)
+                    current.discard(sibling)
+                    current.add(parent)
+                    changed = True
+        result = PrefixSet(family=self.family)
+        for member in current:
+            result.add(member)
+        return result
+
+    # ------------------------------------------------------------------
+    # Set algebra (on exact membership)
+    # ------------------------------------------------------------------
+
+    def union(self, other: "PrefixSet") -> "PrefixSet":
+        """Members present in either set."""
+        return PrefixSet(list(self._members | other._members), family=self.family)
+
+    def intersection(self, other: "PrefixSet") -> "PrefixSet":
+        """Members present in both sets."""
+        return PrefixSet(list(self._members & other._members), family=self.family)
+
+    def difference(self, other: "PrefixSet") -> "PrefixSet":
+        """Members of this set absent from ``other``."""
+        return PrefixSet(list(self._members - other._members), family=self.family)
+
+    def overlaps_prefix(self, prefix: Prefix) -> bool:
+        """True if any member overlaps ``prefix`` in address space."""
+        if self.covers(prefix):
+            return True
+        return bool(self.more_specifics_of(prefix))
+
+    def __repr__(self) -> str:
+        return f"PrefixSet({len(self._members)} prefixes, family={self.family})"

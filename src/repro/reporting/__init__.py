@@ -1,0 +1,12 @@
+"""Rendering helpers: text tables and figure series.
+
+The benchmark harness regenerates every table and figure of the paper;
+these helpers keep the output format consistent (aligned text tables,
+CSV-exportable series) without pulling in plotting dependencies.
+"""
+
+from repro.reporting.figures import render_chart, render_histogram
+from repro.reporting.series import Series, write_csv
+from repro.reporting.tables import render_table
+
+__all__ = ["Series", "render_chart", "render_histogram", "render_table", "write_csv"]

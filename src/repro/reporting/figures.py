@@ -1,0 +1,101 @@
+"""ASCII figure rendering for series.
+
+The bench harness and examples are terminal-first; this renders one or
+more :class:`~repro.reporting.series.Series` as a compact ASCII line
+chart — enough to eyeball a trend without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.reporting.series import Series
+
+#: Markers assigned to series in order.
+MARKERS = "ox+*#@%&"
+
+
+def render_chart(
+    series_list: Sequence[Series],
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render series as an ASCII chart with a shared x/y scale.
+
+    Points are plotted with per-series markers; collisions show the
+    later series' marker.  None values are skipped.
+    """
+    points = [
+        (series_index, x, y)
+        for series_index, series in enumerate(series_list)
+        for x, y in series.points
+        if y is not None
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    xs = [x for _, x, _ in points]
+    ys = [y for _, _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low = min(ys) if y_min is None else y_min
+    y_high = max(ys) if y_max is None else y_max
+    if x_high == x_low:
+        x_high = x_low + 1
+    if y_high == y_low:
+        y_high = y_low + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, x, y in points:
+        column = int((x - x_low) / (x_high - x_low) * (width - 1))
+        row = int((y - y_low) / (y_high - y_low) * (height - 1))
+        row = height - 1 - max(0, min(height - 1, row))
+        column = max(0, min(width - 1, column))
+        grid[row][column] = MARKERS[series_index % len(MARKERS)]
+
+    y_label_width = max(len(f"{y_high:g}"), len(f"{y_low:g}"))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:g}".rjust(y_label_width)
+        elif row_index == height - 1:
+            label = f"{y_low:g}".rjust(y_label_width)
+        else:
+            label = " " * y_label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * y_label_width + " +" + "-" * width)
+    x_axis = f"{x_low:g}".ljust(width - len(f"{x_high:g}")) + f"{x_high:g}"
+    lines.append(" " * (y_label_width + 2) + x_axis)
+
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {series.name}"
+        for i, series in enumerate(series_list)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def render_histogram(
+    counts: dict,
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Render {bucket: count} as a horizontal-bar histogram."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not counts:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    biggest = max(counts.values())
+    label_width = max(len(str(bucket)) for bucket in counts)
+    for bucket in sorted(counts):
+        value = counts[bucket]
+        bar = "#" * max(1 if value else 0, int(value / biggest * width))
+        lines.append(f"{str(bucket).rjust(label_width)} | {bar} {value}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""(x, y) series containers for the paper's figures."""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Series:
+    """One named line of a figure."""
+
+    name: str
+    points: List[Tuple[float, Optional[float]]] = field(default_factory=list)
+
+    def add(self, x: float, y: Optional[float]) -> None:
+        """Append one (x, y) point."""
+        self.points.append((x, y))
+
+    def xs(self) -> List[float]:
+        """The x coordinates."""
+        return [x for x, _ in self.points]
+
+    def ys(self) -> List[Optional[float]]:
+        """The y coordinates (None for gaps)."""
+        return [y for _, y in self.points]
+
+    def last(self) -> Optional[float]:
+        """The final y value, or None when empty."""
+        return self.points[-1][1] if self.points else None
+
+    def render(self, x_label: str = "x", y_format: str = "{:.1f}") -> str:
+        """One-line-per-point text rendering for bench output."""
+        lines = [f"series: {self.name}"]
+        for x, y in self.points:
+            shown = "-" if y is None else y_format.format(y)
+            lines.append(f"  {x_label}={x:g}: {shown}")
+        return "\n".join(lines)
+
+
+def write_csv(path: os.PathLike, series_list: Sequence[Series]) -> None:
+    """Write aligned series to CSV: first column x, one column per series.
+
+    Series may have different x grids; the union is used and gaps are
+    left empty.
+    """
+    grid = sorted({x for series in series_list for x, _ in series.points})
+    lookup = [
+        {x: y for x, y in series.points}
+        for series in series_list
+    ]
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x"] + [series.name for series in series_list])
+        for x in grid:
+            row: List[object] = [x]
+            for table in lookup:
+                value = table.get(x)
+                row.append("" if value is None else value)
+            writer.writerow(row)

@@ -1,0 +1,47 @@
+"""Aligned text tables (the repo's stand-in for the paper's tables)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table.
+
+    The first column is left-aligned (labels), the rest right-aligned
+    (numbers), matching how the paper's tables read.
+    """
+    text_rows: List[List[str]] = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            width = widths[index] if index < len(widths) else len(cell)
+            parts.append(cell.ljust(width) if index == 0 else cell.rjust(width))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row(list(headers)))
+    lines.append(format_row(["-" * width for width in widths]))
+    lines.extend(format_row(row) for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""BGP routing simulation over a :class:`~repro.topology.world.World`.
+
+``routing`` computes the valley-free routes every vantage point selects;
+``snapshot`` renders them into collector RIB records; ``updates``
+generates the post-snapshot UPDATE stream; ``artifacts`` corrupts the
+data the way real collectors do; ``scenario`` ties it together behind a
+single ``SimulatedInternet`` facade.
+"""
+
+from repro.simulation.routing import PropagationEngine, Route, propagate
+from repro.simulation.scenario import SimulatedInternet
+from repro.simulation.snapshot import render_rib_records, render_snapshot
+from repro.simulation.updates import UpdateStreamConfig, generate_update_records
+
+__all__ = [
+    "PropagationEngine",
+    "Route",
+    "SimulatedInternet",
+    "UpdateStreamConfig",
+    "generate_update_records",
+    "propagate",
+    "render_rib_records",
+    "render_snapshot",
+]

@@ -1,0 +1,105 @@
+"""Collector data artifacts (paper A8.3).
+
+Real BGP collection is noisy; the sanitization pipeline only earns its
+keep if the input contains the problems it targets.  This module
+implements the corruptions the paper documents:
+
+* ADD-PATH incompatible peers: records flagged with BGPStream-style
+  warnings, with garbled AS paths mixed into the feed;
+* a misconfigured peer that leaks a private ASN (AS65000) into most of
+  its paths, inflating atom counts;
+* peers that resend a large share of duplicate prefixes;
+* stuck routes: phantom prefixes visible at a single collector.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.bgp.attributes import PathAttributes
+from repro.net.aspath import ASPath, PathSegment, SegmentType
+from repro.net.prefix import AF_INET, Prefix
+
+#: BGPStream warning fingerprints of ADD-PATH parsing failures (A8.3.1).
+ADDPATH_WARNINGS = (
+    "unknown BGP4MP record subtype 9",
+    "Duplicate Path Attribute",
+    "Invalid MP(UN)REACH NLRI",
+)
+
+#: The private ASN the misconfigured peer leaks (A8.3.2).
+LEAKED_PRIVATE_ASN = 65000
+
+#: Deterministic cheap hash for per-prefix decisions (stable across runs,
+#: unlike ``hash()``).
+def stable_fraction(prefix: Prefix, salt: int) -> float:
+    """Deterministic per-(prefix, salt) value in [0, 1)."""
+    value = (prefix.network * 2654435761 + prefix.length * 97 + salt * 40503)
+    return ((value >> 7) & 0xFFFFF) / float(0x100000)
+
+
+def addpath_warning_for(record_index: int) -> str:
+    """One of the ADD-PATH warning fingerprints, rotating."""
+    return ADDPATH_WARNINGS[record_index % len(ADDPATH_WARNINGS)]
+
+
+def garble_path(path: ASPath, salt: int) -> ASPath:
+    """A plausibly-corrupt path: duplicated attribute data shows up as a
+    repeated leading ASN plus a bogus hop spliced into the middle."""
+    asns = list(path.asns())
+    if not asns:
+        return path
+    middle = len(asns) // 2
+    bogus = 23456  # AS_TRANS, the classic parsing casualty
+    garbled = asns[:1] + asns[: middle + 1] + [bogus] + asns[middle + 1 :]
+    return ASPath.from_asns(garbled)
+
+
+def inject_private_asn(path: ASPath) -> ASPath:
+    """Insert AS65000 right after the peer's own ASN (A8.3.2)."""
+    asns = list(path.asns())
+    if not asns:
+        return path
+    return ASPath.from_asns(asns[:1] + [LEAKED_PRIVATE_ASN] + asns[1:])
+
+
+def maybe_as_set_path(path: ASPath, prefix: Prefix, origin_in_set: bool,
+                      salt: int) -> Optional[ASPath]:
+    """Convert the path tail into an aggregated AS_SET form.
+
+    Returns None when the path is too short to aggregate.  ~60 % of the
+    produced sets are singletons (which the sanitizer expands); the rest
+    are two-element sets (which it drops).
+    """
+    asns = list(path.asns())
+    if len(asns) < 3:
+        return None
+    singleton = stable_fraction(prefix, salt + 1) < 0.6
+    if singleton:
+        head, tail = asns[:-1], asns[-1:]
+    else:
+        head, tail = asns[:-2], asns[-2:]
+    segments = [
+        PathSegment(SegmentType.AS_SEQUENCE, head),
+        PathSegment(SegmentType.AS_SET, tail),
+    ]
+    return ASPath(segments)
+
+
+def stuck_route_prefixes(rng: random.Random, count: int) -> List[Prefix]:
+    """Phantom prefixes from shared address space (100.64.0.0/10) that no
+    origin actually announces — visible only at one collector."""
+    base = Prefix.parse("100.64.0.0/10")
+    prefixes: List[Prefix] = []
+    for _ in range(count):
+        offset = rng.randrange(1 << 14)  # /24s inside the /10
+        network = base.network + (offset << 8)
+        prefixes.append(Prefix(AF_INET, network, 24))
+    return prefixes
+
+
+def stuck_route_path(rng: random.Random, peer_asn: int) -> ASPath:
+    """A stale-looking path for a stuck route."""
+    hops = [peer_asn] + [rng.randrange(100, 5000) for _ in range(3)]
+    return ASPath.from_asns(hops)

@@ -1,0 +1,82 @@
+"""High-level facade over the simulated Internet.
+
+``SimulatedInternet`` owns a :class:`~repro.topology.world.World` and a
+propagation engine, and answers the two questions every analysis asks:
+
+* "give me the collector RIB records at instant T" and
+* "give me the update stream for the H hours after T".
+
+Time only moves forward; asking for snapshots in chronological order
+mirrors how the paper walks its 20-year archive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Union
+
+from repro.bgp.messages import RouteRecord
+from repro.bgp.rib import RIBSnapshot
+from repro.net.prefix import AF_INET
+from repro.simulation.routing import PropagationEngine
+from repro.simulation.snapshot import render_rib_records, render_snapshot
+from repro.simulation.updates import UpdateStreamConfig, generate_update_records
+from repro.topology.evolution import WorldParams
+from repro.topology.world import World
+from repro.util.dates import parse_utc
+
+TimeLike = Union[int, str]
+
+
+def _as_timestamp(when: TimeLike) -> int:
+    return parse_utc(when) if isinstance(when, str) else int(when)
+
+
+class SimulatedInternet:
+    """A deterministic, evolving Internet behind a collector-data API."""
+
+    def __init__(self, params: Optional[WorldParams] = None,
+                 start: TimeLike = "2004-01-01"):
+        self.params = params or WorldParams()
+        self.world = World(self.params, _as_timestamp(start))
+        self.engine = PropagationEngine(self.world.graph, self.world.transit_policies)
+
+    # ------------------------------------------------------------------
+
+    def advance_to(self, when: TimeLike) -> None:
+        """Advance the world to ``when`` (growth + churn)."""
+        self.world.advance_to(_as_timestamp(when))
+
+    def rib_records(self, when: TimeLike, family: int = AF_INET) -> Iterator[RouteRecord]:
+        """Advance to ``when`` and stream the RIB dump of all peers."""
+        moment = _as_timestamp(when)
+        self.world.advance_to(moment)
+        return render_rib_records(self.world, self.engine, family, moment)
+
+    def rib_snapshot(self, when: TimeLike, family: int = AF_INET) -> RIBSnapshot:
+        """Advance to ``when`` and materialise the cross-peer snapshot."""
+        moment = _as_timestamp(when)
+        self.world.advance_to(moment)
+        return render_snapshot(self.world, self.engine, family, moment)
+
+    def update_records(
+        self,
+        start: TimeLike,
+        hours: float = 4.0,
+        family: int = AF_INET,
+        config: Optional[UpdateStreamConfig] = None,
+    ) -> List[RouteRecord]:
+        """Advance to ``start`` and generate the following update stream."""
+        moment = _as_timestamp(start)
+        self.world.advance_to(moment)
+        return generate_update_records(
+            self.world, self.engine, moment, hours, family, config
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def current_time(self) -> int:
+        return self.world.current_time
+
+    def __repr__(self) -> str:
+        return f"SimulatedInternet({self.world!r})"

@@ -1,0 +1,22 @@
+"""BGPStream-like data access layer.
+
+``archive`` persists route records as compressed JSON-lines, organised
+the way real MRT archives are (project/collector/type/date); ``bgpstream``
+exposes the familiar iterator API over either an archive on disk or a
+live :class:`~repro.simulation.scenario.SimulatedInternet`.
+"""
+
+from repro.stream.archive import RecordArchive
+from repro.stream.bgpstream import BGPStream
+from repro.stream.filters import RecordFilter, apply
+from repro.stream.mrt import MRTReader, MRTWriter, read_mrt
+
+__all__ = [
+    "BGPStream",
+    "MRTReader",
+    "MRTWriter",
+    "RecordArchive",
+    "RecordFilter",
+    "apply",
+    "read_mrt",
+]

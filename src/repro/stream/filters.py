@@ -1,0 +1,117 @@
+"""Composable record filters for BGPStream pipelines.
+
+pybgpstream exposes server-side filters ("peer 25152 and prefix more
+10.0.0.0/8"); this module provides the client-side equivalents as
+composable predicates over :class:`RouteRecord`, so analysis code can
+narrow a stream without materialising it.
+
+Example::
+
+    from repro.stream.filters import by_collector, by_prefix, either, apply
+
+    wanted = apply(records, by_collector("rrc00") & by_prefix("10.0.0.0/8"))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence, Set
+
+from repro.bgp.messages import RouteRecord
+from repro.net.prefix import Prefix
+
+Predicate = Callable[[RouteRecord], bool]
+
+
+class RecordFilter:
+    """A predicate over records, combinable with ``&``, ``|`` and ``~``."""
+
+    def __init__(self, predicate: Predicate, description: str = "filter"):
+        self.predicate = predicate
+        self.description = description
+
+    def __call__(self, record: RouteRecord) -> bool:
+        return self.predicate(record)
+
+    def __and__(self, other: "RecordFilter") -> "RecordFilter":
+        return RecordFilter(
+            lambda record: self(record) and other(record),
+            f"({self.description} and {other.description})",
+        )
+
+    def __or__(self, other: "RecordFilter") -> "RecordFilter":
+        return RecordFilter(
+            lambda record: self(record) or other(record),
+            f"({self.description} or {other.description})",
+        )
+
+    def __invert__(self) -> "RecordFilter":
+        return RecordFilter(
+            lambda record: not self(record), f"(not {self.description})"
+        )
+
+    def __repr__(self) -> str:
+        return f"RecordFilter({self.description})"
+
+
+def by_collector(*collectors: str) -> RecordFilter:
+    """Keep records from the named collectors."""
+    wanted = set(collectors)
+    return RecordFilter(
+        lambda record: record.collector in wanted,
+        f"collector in {sorted(wanted)}",
+    )
+
+
+def by_project(project: str) -> RecordFilter:
+    """Keep records from one project ("ris" / "routeviews")."""
+    return RecordFilter(
+        lambda record: record.project == project, f"project == {project}"
+    )
+
+
+def by_peer_asn(*asns: int) -> RecordFilter:
+    """Keep records from the given peer ASNs."""
+    wanted = set(asns)
+    return RecordFilter(
+        lambda record: record.peer_asn in wanted, f"peer in {sorted(wanted)}"
+    )
+
+
+def by_type(record_type: str) -> RecordFilter:
+    """Keep one record type ("rib" / "update")."""
+    return RecordFilter(
+        lambda record: record.record_type == record_type,
+        f"type == {record_type}",
+    )
+
+
+def by_time(from_time: int = 0, until_time: int = 2**62) -> RecordFilter:
+    """Keep records inside [from_time, until_time]."""
+    return RecordFilter(
+        lambda record: from_time <= record.timestamp <= until_time,
+        f"time in [{from_time}, {until_time}]",
+    )
+
+
+def by_prefix(covering: str) -> RecordFilter:
+    """Keep records touching any prefix inside ``covering``
+    (pybgpstream's "prefix more")."""
+    umbrella = Prefix.parse(covering)
+    return RecordFilter(
+        lambda record: any(
+            umbrella.contains(element.prefix) for element in record.elements
+        ),
+        f"prefix more {covering}",
+    )
+
+
+def healthy() -> RecordFilter:
+    """Drop records flagged with parse corruption."""
+    return RecordFilter(lambda record: not record.is_corrupt, "not corrupt")
+
+
+def apply(
+    records: Iterable[RouteRecord], record_filter: RecordFilter
+) -> Iterator[RouteRecord]:
+    """Lazily filter a record stream."""
+    return (record for record in records if record_filter(record))

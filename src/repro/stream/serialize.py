@@ -1,0 +1,78 @@
+"""JSON (de)serialization of route records.
+
+The wire format is one JSON object per record.  Paths are stored in
+their textual dump form (``"1 2 {3,4}"``) and prefixes as strings, so
+archives are greppable and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.bgp.attributes import Community, PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+def element_to_dict(element: RouteElement) -> Dict[str, Any]:
+    """Serialise one element to its JSON dict form."""
+    payload: Dict[str, Any] = {
+        "t": element.element_type.value,
+        "p": str(element.prefix),
+    }
+    if element.attributes is not None:
+        payload["path"] = str(element.attributes.as_path)
+        if element.attributes.communities:
+            payload["comm"] = sorted(
+                str(c) for c in element.attributes.communities
+            )
+        if element.attributes.med:
+            payload["med"] = element.attributes.med
+    return payload
+
+
+def element_from_dict(payload: Dict[str, Any]) -> RouteElement:
+    """Parse one element from its JSON dict form."""
+    attributes = None
+    if "path" in payload:
+        attributes = PathAttributes(
+            ASPath.parse(payload["path"]),
+            communities=[Community.parse(c) for c in payload.get("comm", ())],
+            med=payload.get("med", 0),
+        )
+    return RouteElement(
+        ElementType(payload["t"]), Prefix.parse(payload["p"]), attributes
+    )
+
+
+def record_to_json(record: RouteRecord) -> str:
+    """Serialise a record to one JSON line."""
+    payload = {
+        "type": record.record_type,
+        "project": record.project,
+        "collector": record.collector,
+        "peer_asn": record.peer_asn,
+        "peer_addr": record.peer_address,
+        "time": record.timestamp,
+        "elements": [element_to_dict(e) for e in record.elements],
+    }
+    if record.corrupt_warning:
+        payload["warning"] = record.corrupt_warning
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def record_from_json(line: str) -> RouteRecord:
+    """Parse a record from one JSON line."""
+    payload = json.loads(line)
+    return RouteRecord(
+        payload["type"],
+        payload["project"],
+        payload["collector"],
+        payload["peer_asn"],
+        payload["peer_addr"],
+        payload["time"],
+        [element_from_dict(e) for e in payload["elements"]],
+        corrupt_warning=payload.get("warning", ""),
+    )

@@ -1,0 +1,111 @@
+"""Address space allocation for the synthetic Internet.
+
+Each AS receives one or more allocation blocks; announced prefixes are
+carved out of the blocks with a controllable fragmentation level — the
+paper attributes most of the 7.8x prefix growth to fragmentation into
+more-specifics, so the carver can announce the aggregate, more-specifics,
+or both.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.net.prefix import AF_INET, AF_INET6, Prefix, PrefixError
+
+#: Longest announced prefix the paper keeps (§2.4.3).
+MAX_ANNOUNCED_LENGTH = {AF_INET: 24, AF_INET6: 48}
+
+
+class AddressSpaceExhausted(RuntimeError):
+    """The allocator ran out of blocks of the requested size."""
+
+
+class AddressAllocator:
+    """Sequential allocator over one address family's unicast space.
+
+    IPv4 blocks come from 1.0.0.0/8 upward (stopping before 224/8);
+    IPv6 blocks from 2001::/16 within 2000::/3.  Sequential allocation
+    keeps the layout deterministic and collision-free without a free
+    list.
+    """
+
+    def __init__(self, family: int):
+        if family == AF_INET:
+            self._base = 1 << 24  # 1.0.0.0
+            self._limit = 224 << 24  # start of multicast space
+            self._bits = 32
+        elif family == AF_INET6:
+            self._base = 0x2001 << 112
+            self._limit = 0x4000 << 112  # end of 2000::/3
+            self._bits = 128
+        else:
+            raise PrefixError(f"unknown family {family}")
+        self.family = family
+        self._cursor = self._base
+
+    def allocate_block(self, length: int) -> Prefix:
+        """Allocate the next free block with the given prefix length."""
+        step = 1 << (self._bits - length)
+        # Align the cursor up to the block size.
+        remainder = self._cursor % step
+        if remainder:
+            self._cursor += step - remainder
+        if self._cursor + step > self._limit:
+            raise AddressSpaceExhausted(
+                f"no /{length} blocks left in family {self.family}"
+            )
+        block = Prefix(self.family, self._cursor, length)
+        self._cursor += step
+        return block
+
+    def remaining_blocks(self, length: int) -> int:
+        """How many /``length`` blocks are still free."""
+        step = 1 << (self._bits - length)
+        remainder = self._cursor % step
+        aligned = self._cursor + (step - remainder if remainder else 0)
+        return max(0, (self._limit - aligned) // step)
+
+
+def carve_prefixes(
+    block: Prefix,
+    count: int,
+    rng: random.Random,
+    include_aggregate: bool = True,
+) -> List[Prefix]:
+    """Carve ``count`` announced prefixes out of an allocation block.
+
+    The result mixes the aggregate (optionally) with more-specifics
+    obtained by repeated halving, never exceeding the family's maximum
+    announced length.  If the block is too small to yield ``count``
+    distinct prefixes, as many as possible are returned.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    max_length = MAX_ANNOUNCED_LENGTH[block.family]
+    if block.length > max_length:
+        raise ValueError(
+            f"allocation block {block} longer than announceable /{max_length}"
+        )
+    result: List[Prefix] = []
+    if include_aggregate:
+        result.append(block)
+        if count == 1:
+            return result
+
+    # Pool of splittable prefixes; bias splitting toward earlier entries
+    # so fragmentation clusters (mirrors real-world deaggregation).
+    pool: List[Prefix] = [block]
+    while len(result) < count:
+        splittable = [p for p in pool if p.length < max_length]
+        if not splittable:
+            break
+        victim = splittable[0] if rng.random() < 0.6 else rng.choice(splittable)
+        pool.remove(victim)
+        halves = list(victim.subnets())
+        pool.extend(halves)
+        for half in halves:
+            if len(result) < count and half not in result:
+                result.append(half)
+    return result[:count]

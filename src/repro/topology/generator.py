@@ -1,0 +1,245 @@
+"""Synthetic tiered Internet topology generator.
+
+Produces a hierarchy shaped like the measured Internet: a small clique of
+Tier-1 transit-free providers, a middle layer of regional transit ASes,
+and a large population of stub (edge) ASes.  Flattening over time is
+modelled through IXP-style peering among non-Tier-1 ASes and a rising
+multihoming degree, both controlled by :class:`GeneratorParams`.
+
+The generator is deterministic given its seed, and the same helpers are
+reused by the evolution model to grow a topology incrementally.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.topology.model import ASGraph, ASNode, Relationship, Tier
+
+
+@dataclass
+class GeneratorParams:
+    """Knobs of the synthetic topology.
+
+    ``multihoming_mean`` is the average number of providers per stub;
+    ``peering_density`` the probability that a random transit pair peers
+    (Tier-1s always form a full clique); ``edge_peering_density`` the
+    probability that two stubs in the same region peer at an IXP.
+    """
+
+    n_tier1: int = 8
+    n_transit: int = 40
+    n_stub: int = 300
+    n_regions: int = 4
+    multihoming_mean: float = 1.4
+    peering_density: float = 0.15
+    edge_peering_density: float = 0.002
+    #: share of transit ASes homed under other transits rather than
+    #: directly under Tier-1s (a second transit tier lengthens paths)
+    second_tier_share: float = 0.35
+    sibling_org_fraction: float = 0.03
+    sibling_org_size: int = 3
+    ipv6_fraction: float = 0.0
+    seed: int = 7
+
+    def rng(self) -> random.Random:
+        """A fresh RNG seeded from these parameters."""
+        return random.Random(self.seed)
+
+
+def _choose_provider_count(rng: random.Random, mean: float) -> int:
+    """Sample a provider count >= 1 with the requested mean.
+
+    Mixture of single-homed and geometric multi-homed tails, so the
+    multihoming CDF is heavy on 1 with a realistic tail.
+    """
+    if mean <= 1.0:
+        return 1
+    extra = mean - 1.0
+    count = 1
+    while rng.random() < extra / (1.0 + extra) and count < 6:
+        count += 1
+    return count
+
+
+def add_transit_as(
+    graph: ASGraph,
+    rng: random.Random,
+    asn: int,
+    region: int,
+    ipv6_capable: bool,
+    peering_density: float,
+) -> ASNode:
+    """Add one transit AS homed to 1-3 Tier-1s, peered with some transits."""
+    node = graph.add_as(ASNode(asn, Tier.TRANSIT, region=region, ipv6_capable=ipv6_capable))
+    tier1 = graph.tier1()
+    provider_count = min(len(tier1), rng.choice((2, 2, 3, 3, 4)))
+    for provider in rng.sample(tier1, provider_count):
+        graph.add_provider_link(asn, provider)
+    for other in graph.nodes:
+        other_node = graph.nodes[other]
+        if (
+            other != asn
+            and other_node.tier == Tier.TRANSIT
+            and graph.relationship(asn, other) is None
+            and rng.random() < peering_density
+        ):
+            graph.add_peer_link(asn, other)
+    return node
+
+
+def add_stub_as(
+    graph: ASGraph,
+    rng: random.Random,
+    asn: int,
+    region: int,
+    ipv6_capable: bool,
+    multihoming_mean: float,
+    org_id: int = 0,
+    preferred_provider: Optional[int] = None,
+) -> ASNode:
+    """Add one stub AS homed to transit ASes (preferring its region)."""
+    node = graph.add_as(
+        ASNode(asn, Tier.STUB, org_id=org_id, region=region, ipv6_capable=ipv6_capable)
+    )
+    transits = [
+        other
+        for other, other_node in graph.nodes.items()
+        if other_node.tier == Tier.TRANSIT
+    ]
+    if not transits:
+        transits = graph.tier1()
+    local = [t for t in transits if graph.nodes[t].region == region] or transits
+    provider_count = _choose_provider_count(rng, multihoming_mean)
+    providers: List[int] = []
+    if preferred_provider is not None and preferred_provider in graph.nodes:
+        providers.append(preferred_provider)
+    while len(providers) < provider_count:
+        pool = local if rng.random() < 0.8 else transits
+        choice = rng.choice(pool)
+        if choice not in providers:
+            providers.append(choice)
+        elif len(providers) >= len(set(transits)):
+            break
+    for provider in providers:
+        graph.add_provider_link(asn, provider)
+    return node
+
+
+def generate_topology(params: GeneratorParams) -> ASGraph:
+    """Build a full topology from scratch.
+
+    ASNs are assigned densely from 1 so tests can reason about them;
+    realistic ASN values are irrelevant to every analysis in the paper.
+    """
+    rng = params.rng()
+    graph = ASGraph()
+    next_asn = 1
+
+    # Tier-1 clique: transit-free, all mutually peered, spread over regions.
+    tier1_asns: List[int] = []
+    for index in range(params.n_tier1):
+        asn = next_asn
+        next_asn += 1
+        graph.add_as(
+            ASNode(
+                asn,
+                Tier.TIER1,
+                region=index % params.n_regions,
+                ipv6_capable=True,
+            )
+        )
+        tier1_asns.append(asn)
+    for i, left in enumerate(tier1_asns):
+        for right in tier1_asns[i + 1 :]:
+            graph.add_peer_link(left, right)
+
+    # Transit layer.  A share of the later transits become second-tier:
+    # homed under earlier (first-tier) transits instead of Tier-1s,
+    # giving the hierarchy the extra depth real AS paths show.
+    first_tier_transits: List[int] = []
+    for index in range(params.n_transit):
+        asn = next_asn
+        next_asn += 1
+        make_second_tier = (
+            first_tier_transits
+            and index >= max(4, params.n_transit // 4)
+            and rng.random() < params.second_tier_share
+        )
+        if make_second_tier:
+            node = graph.add_as(
+                ASNode(
+                    asn,
+                    Tier.TRANSIT,
+                    region=rng.randrange(params.n_regions),
+                    ipv6_capable=rng.random() < max(params.ipv6_fraction, 0.5),
+                )
+            )
+            upstream_count = min(len(first_tier_transits), rng.choice((1, 2, 2)))
+            for upstream in rng.sample(first_tier_transits, upstream_count):
+                graph.add_provider_link(asn, upstream)
+            for other in first_tier_transits:
+                if (
+                    graph.relationship(asn, other) is None
+                    and rng.random() < params.peering_density / 2
+                ):
+                    graph.add_peer_link(asn, other)
+        else:
+            add_transit_as(
+                graph,
+                rng,
+                asn,
+                region=rng.randrange(params.n_regions),
+                ipv6_capable=rng.random() < max(params.ipv6_fraction, 0.5),
+                peering_density=params.peering_density,
+            )
+            first_tier_transits.append(asn)
+
+    # Stub layer, with a fraction grouped into sibling organisations that
+    # chain through each other (the DoD pattern of §4.3: several sibling
+    # ASes between the origin and the first non-org transit).
+    stubs_remaining = params.n_stub
+    while stubs_remaining > 0:
+        region = rng.randrange(params.n_regions)
+        ipv6 = rng.random() < params.ipv6_fraction
+        if (
+            rng.random() < params.sibling_org_fraction
+            and stubs_remaining >= params.sibling_org_size
+        ):
+            org_id = next_asn
+            head_asn = next_asn
+            next_asn += 1
+            add_stub_as(
+                graph, rng, head_asn, region, ipv6, params.multihoming_mean, org_id
+            )
+            parent = head_asn
+            for _ in range(params.sibling_org_size - 1):
+                asn = next_asn
+                next_asn += 1
+                node = graph.add_as(
+                    ASNode(asn, Tier.STUB, org_id=org_id, region=region, ipv6_capable=ipv6)
+                )
+                graph.add_provider_link(node.asn, parent)
+                parent = asn
+            stubs_remaining -= params.sibling_org_size
+        else:
+            asn = next_asn
+            next_asn += 1
+            add_stub_as(graph, rng, asn, region, ipv6, params.multihoming_mean)
+            stubs_remaining -= 1
+
+    # IXP-style peering among same-region stubs (Internet flattening).
+    if params.edge_peering_density > 0:
+        stubs = graph.stubs()
+        target_links = int(len(stubs) * len(stubs) * params.edge_peering_density / 2)
+        for _ in range(target_links):
+            left, right = rng.sample(stubs, 2)
+            if (
+                graph.nodes[left].region == graph.nodes[right].region
+                and graph.relationship(left, right) is None
+            ):
+                graph.add_peer_link(left, right)
+
+    return graph

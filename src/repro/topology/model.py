@@ -1,0 +1,234 @@
+"""AS-level graph with business relationships.
+
+Relationships follow the Gao-Rexford model: every inter-AS link is either
+customer-to-provider or (settlement-free) peer-to-peer.  The graph
+guarantees the provider hierarchy is acyclic, which the propagation
+engine relies on for termination.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+class Relationship(IntEnum):
+    """The relationship of a neighbor *from this AS's point of view*."""
+
+    CUSTOMER = -1
+    PEER = 0
+    PROVIDER = 1
+
+
+class Tier(IntEnum):
+    """Coarse position in the routing hierarchy."""
+
+    TIER1 = 1
+    TRANSIT = 2
+    STUB = 3
+
+
+class ASNode:
+    """One autonomous system.
+
+    ``org_id`` groups sibling ASes under one organisation (e.g. the DoD
+    example in §4.3, or the FITI testbed ASes in §5.1); ``region`` scopes
+    region-based transit policies.
+    """
+
+    __slots__ = ("asn", "tier", "org_id", "region", "ipv6_capable")
+
+    def __init__(
+        self,
+        asn: int,
+        tier: Tier,
+        org_id: int = 0,
+        region: int = 0,
+        ipv6_capable: bool = False,
+    ):
+        self.asn = asn
+        self.tier = Tier(tier)
+        self.org_id = org_id if org_id else asn
+        self.region = region
+        self.ipv6_capable = ipv6_capable
+
+    def __repr__(self) -> str:
+        return f"ASNode(AS{self.asn}, {self.tier.name}, region={self.region})"
+
+
+class ASGraph:
+    """The inter-domain topology: nodes plus typed adjacency."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, ASNode] = {}
+        # adjacency[asn][neighbor] = relationship of neighbor seen from asn
+        self._adjacency: Dict[int, Dict[int, Relationship]] = {}
+        #: incremented whenever links change; propagation caches key off it
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_as(self, node: ASNode) -> ASNode:
+        """Add a node; duplicate ASNs are rejected."""
+        if node.asn in self.nodes:
+            raise ValueError(f"AS{node.asn} already in graph")
+        self.nodes[node.asn] = node
+        self._adjacency[node.asn] = {}
+        return node
+
+    def _check_known(self, asn: int) -> None:
+        if asn not in self.nodes:
+            raise KeyError(f"AS{asn} not in graph")
+
+    def add_provider_link(self, customer: int, provider: int) -> None:
+        """``customer`` buys transit from ``provider``."""
+        self._check_known(customer)
+        self._check_known(provider)
+        if customer == provider:
+            raise ValueError("an AS cannot be its own provider")
+        existing = self._adjacency[customer].get(provider)
+        if existing is not None and existing != Relationship.PROVIDER:
+            raise ValueError(
+                f"AS{customer}-AS{provider} already linked as {existing.name}"
+            )
+        self._adjacency[customer][provider] = Relationship.PROVIDER
+        self._adjacency[provider][customer] = Relationship.CUSTOMER
+        self.version += 1
+
+    def add_peer_link(self, left: int, right: int) -> None:
+        """Settlement-free peering between ``left`` and ``right``."""
+        self._check_known(left)
+        self._check_known(right)
+        if left == right:
+            raise ValueError("an AS cannot peer with itself")
+        existing = self._adjacency[left].get(right)
+        if existing is not None and existing != Relationship.PEER:
+            raise ValueError(
+                f"AS{left}-AS{right} already linked as {existing.name}"
+            )
+        self._adjacency[left][right] = Relationship.PEER
+        self._adjacency[right][left] = Relationship.PEER
+        self.version += 1
+
+    def remove_link(self, left: int, right: int) -> None:
+        """Remove the link between two ASes (KeyError if absent)."""
+        self._check_known(left)
+        self._check_known(right)
+        if right not in self._adjacency[left]:
+            raise KeyError(f"no link AS{left}-AS{right}")
+        del self._adjacency[left][right]
+        del self._adjacency[right][left]
+        self.version += 1
+
+    def replace_provider(self, customer: int, old: int, new: int) -> None:
+        """Move ``customer`` from provider ``old`` to provider ``new``.
+
+        The primitive behind VP-local policy changes (§4.4.1: a vantage
+        point changing provider splits atoms from its view only).
+        """
+        self.remove_link(customer, old)
+        self.add_provider_link(customer, new)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def asns(self) -> List[int]:
+        """All ASNs in the graph."""
+        return list(self.nodes)
+
+    def node(self, asn: int) -> ASNode:
+        """The node for ``asn`` (KeyError if unknown)."""
+        return self.nodes[asn]
+
+    def relationship(self, asn: int, neighbor: int) -> Optional[Relationship]:
+        """Relationship of ``neighbor`` as seen from ``asn``, or None."""
+        return self._adjacency.get(asn, {}).get(neighbor)
+
+    def neighbors(self, asn: int) -> Dict[int, Relationship]:
+        """{neighbor: relationship} seen from ``asn``."""
+        return dict(self._adjacency.get(asn, {}))
+
+    def providers(self, asn: int) -> List[int]:
+        """ASes ``asn`` buys transit from."""
+        return [
+            n
+            for n, rel in self._adjacency.get(asn, {}).items()
+            if rel == Relationship.PROVIDER
+        ]
+
+    def customers(self, asn: int) -> List[int]:
+        """ASes buying transit from ``asn``."""
+        return [
+            n
+            for n, rel in self._adjacency.get(asn, {}).items()
+            if rel == Relationship.CUSTOMER
+        ]
+
+    def peers(self, asn: int) -> List[int]:
+        """Settlement-free peers of ``asn``."""
+        return [
+            n
+            for n, rel in self._adjacency.get(asn, {}).items()
+            if rel == Relationship.PEER
+        ]
+
+    def degree(self, asn: int) -> int:
+        """Number of links incident to ``asn``."""
+        return len(self._adjacency.get(asn, {}))
+
+    def link_count(self) -> int:
+        """Total links in the graph."""
+        return sum(len(adj) for adj in self._adjacency.values()) // 2
+
+    def edges(self) -> Iterator[Tuple[int, int, Relationship]]:
+        """Yield each link once as (asn, neighbor, relationship-from-asn),
+        with provider links reported from the customer side."""
+        for asn, adjacency in self._adjacency.items():
+            for neighbor, relationship in adjacency.items():
+                if relationship == Relationship.PROVIDER:
+                    yield (asn, neighbor, relationship)
+                elif relationship == Relationship.PEER and asn < neighbor:
+                    yield (asn, neighbor, relationship)
+
+    def has_provider_cycle(self) -> bool:
+        """True if the customer->provider digraph contains a cycle."""
+        state: Dict[int, int] = {}  # 0 visiting, 1 done
+
+        def visit(asn: int) -> bool:
+            state[asn] = 0
+            for provider in self.providers(asn):
+                mark = state.get(provider)
+                if mark == 0:
+                    return True
+                if mark is None and visit(provider):
+                    return True
+            state[asn] = 1
+            return False
+
+        return any(visit(asn) for asn in self.nodes if asn not in state)
+
+    def stubs(self) -> List[int]:
+        """All stub-tier ASNs."""
+        return [asn for asn, node in self.nodes.items() if node.tier == Tier.STUB]
+
+    def tier1(self) -> List[int]:
+        """All Tier-1 ASNs."""
+        return [asn for asn, node in self.nodes.items() if node.tier == Tier.TIER1]
+
+    def siblings_of(self, asn: int) -> Set[int]:
+        """Other ASes in ``asn``'s organisation."""
+        org = self.nodes[asn].org_id
+        return {
+            other
+            for other, node in self.nodes.items()
+            if node.org_id == org and other != asn
+        }

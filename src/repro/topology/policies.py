@@ -1,0 +1,206 @@
+"""Routing policies attached to the topology.
+
+The paper identifies the mechanisms that create policy atoms:
+
+* the origin announces different prefix groups to different neighbors
+  (selective announcement) — splits at distance 1-2;
+* the origin prepends differently per neighbor — splits at distance 1
+  under formation-distance method (iii);
+* transit ASes apply selective export driven by traffic-engineering
+  communities (e.g. GTT 3257:2990 "do not announce in North America") —
+  splits after the transit, at distance >= 3.
+
+A :class:`PolicyUnit` is a group of prefixes the origin treats
+identically; units are the generative precursor of atoms (atoms can
+still merge units whose paths coincide everywhere, or split units whose
+paths diverge through transit policy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.bgp.attributes import Community
+from repro.net.prefix import Prefix
+
+
+class PolicyUnit:
+    """A group of prefixes with one announcement configuration.
+
+    Attributes
+    ----------
+    unit_id:
+        Stable identifier, unique within the origin.
+    prefixes:
+        The member prefixes (all the same address family).
+    announce_to:
+        Neighbor ASNs the origin announces this unit to.  ``None`` means
+        "all transit-providing neighbors" (providers and peers).
+    prepend:
+        Extra copies of the origin ASN added when announcing to a given
+        neighbor (0 = no prepending).
+    tag:
+        Optional TE community carried by the unit's announcements;
+        transit ASes may act on it (see :class:`TransitPolicy`).
+    """
+
+    __slots__ = ("unit_id", "prefixes", "announce_to", "prepend", "tag")
+
+    def __init__(
+        self,
+        unit_id: int,
+        prefixes: Sequence[Prefix],
+        announce_to: Optional[FrozenSet[int]] = None,
+        prepend: Optional[Dict[int, int]] = None,
+        tag: Optional[Community] = None,
+    ):
+        if not prefixes:
+            raise ValueError("a policy unit needs at least one prefix")
+        families = {prefix.family for prefix in prefixes}
+        if len(families) != 1:
+            raise ValueError("a policy unit cannot mix address families")
+        self.unit_id = unit_id
+        self.prefixes: List[Prefix] = list(prefixes)
+        self.announce_to = announce_to
+        self.prepend: Dict[int, int] = dict(prepend or {})
+        self.tag = tag
+
+    @property
+    def family(self) -> int:
+        return self.prefixes[0].family
+
+    def announces_to(self, neighbor: int) -> bool:
+        """True if this unit is announced to ``neighbor``."""
+        return self.announce_to is None or neighbor in self.announce_to
+
+    def prepend_for(self, neighbor: int) -> int:
+        """Extra origin-ASN copies when announcing to ``neighbor``."""
+        return self.prepend.get(neighbor, 0)
+
+    def config_key(self) -> Tuple:
+        """Hashable announcement configuration (ignores the prefix list).
+
+        Units of one origin with equal config keys are guaranteed to end
+        up with identical path vectors, hence in one atom.
+        """
+        return (
+            self.announce_to,
+            tuple(sorted(self.prepend.items())),
+            self.tag,
+        )
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+    def __repr__(self) -> str:
+        return (
+            f"PolicyUnit(id={self.unit_id}, {len(self.prefixes)} prefixes, "
+            f"tag={self.tag}, announce_to={self.announce_to})"
+        )
+
+
+class OriginPolicy:
+    """All policy units of one origin AS for one address family."""
+
+    __slots__ = ("asn", "family", "units", "version", "_next_unit_id")
+
+    def __init__(self, asn: int, family: int):
+        self.asn = asn
+        self.family = family
+        self.units: List[PolicyUnit] = []
+        #: bumped on every change; propagation caches key off it
+        self.version = 0
+        self._next_unit_id = 0
+
+    def new_unit(
+        self,
+        prefixes: Sequence[Prefix],
+        announce_to: Optional[FrozenSet[int]] = None,
+        prepend: Optional[Dict[int, int]] = None,
+        tag: Optional[Community] = None,
+    ) -> PolicyUnit:
+        """Create and register a unit; bumps the policy version."""
+        unit = PolicyUnit(self._next_unit_id, prefixes, announce_to, prepend, tag)
+        if unit.family != self.family:
+            raise ValueError("unit family does not match origin policy family")
+        self._next_unit_id += 1
+        self.units.append(unit)
+        self.version += 1
+        return unit
+
+    def remove_unit(self, unit: PolicyUnit) -> None:
+        """Remove a unit; bumps the policy version."""
+        self.units.remove(unit)
+        self.version += 1
+
+    def touch(self) -> None:
+        """Record that a unit was modified in place."""
+        self.version += 1
+
+    def all_prefixes(self) -> List[Prefix]:
+        """Every prefix across this origin's units."""
+        prefixes: List[Prefix] = []
+        for unit in self.units:
+            prefixes.extend(unit.prefixes)
+        return prefixes
+
+    def prefix_count(self) -> int:
+        """Total prefixes across this origin's units."""
+        return sum(len(unit) for unit in self.units)
+
+    def find_unit_of(self, prefix: Prefix) -> Optional[PolicyUnit]:
+        """The unit containing ``prefix``, or None."""
+        for unit in self.units:
+            if prefix in unit.prefixes:
+                return unit
+        return None
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+    def __repr__(self) -> str:
+        return (
+            f"OriginPolicy(AS{self.asn}, v{self.family}, "
+            f"{len(self.units)} units, {self.prefix_count()} prefixes)"
+        )
+
+
+class TransitPolicy:
+    """Selective-export rules of one transit AS.
+
+    ``rules[tag]`` is the set of neighbor ASNs toward which routes
+    carrying ``tag`` are *not* exported.  This is the paper's §4.3
+    mechanism: a transit T exporting one prefix to AS1 and another to
+    AS2 creates two atoms that split right after T.
+    """
+
+    __slots__ = ("asn", "rules", "version")
+
+    def __init__(self, asn: int):
+        self.asn = asn
+        self.rules: Dict[Community, FrozenSet[int]] = {}
+        self.version = 0
+
+    def block(self, tag: Community, neighbors: FrozenSet[int]) -> None:
+        """Refuse to export routes carrying ``tag`` to ``neighbors``."""
+        self.rules[tag] = frozenset(neighbors)
+        self.version += 1
+
+    def unblock(self, tag: Community) -> None:
+        """Drop the rule for ``tag`` if present."""
+        if tag in self.rules:
+            del self.rules[tag]
+            self.version += 1
+
+    def blocks(self, tag: Optional[Community], neighbor: int) -> bool:
+        """True if ``tag`` must not be exported to ``neighbor``."""
+        if tag is None or not self.rules:
+            return False
+        blocked = self.rules.get(tag)
+        return blocked is not None and neighbor in blocked
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def __repr__(self) -> str:
+        return f"TransitPolicy(AS{self.asn}, {len(self.rules)} rules)"

@@ -1,0 +1,69 @@
+"""Tests for the IPv6 study (§5)."""
+
+import pytest
+
+from repro.analysis.ipv6 import IPv6Study
+from repro.simulation.scenario import SimulatedInternet
+from repro.topology.evolution import WorldParams
+
+PARAMS = WorldParams(
+    seed=91,
+    as_scale=1 / 300.0,
+    prefix_scale=1 / 300.0,
+    peer_scale=0.03,
+    collector_scale=0.3,
+    min_fullfeed_peers=6,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    simulator = SimulatedInternet(PARAMS, start="2014-01-01")
+    study = IPv6Study(simulator)
+    return study.comparison(early_year=2014, recent_year=2022, month=1)
+
+
+class TestComparison:
+    def test_rows_structure(self, comparison):
+        rows = comparison.rows()
+        assert len(rows) == 8
+        assert rows[0][0] == "Number of prefixes"
+        assert all(len(row) == 4 for row in rows)
+
+    def test_v6_smaller_than_v4(self, comparison):
+        assert comparison.v6_recent.n_prefixes < comparison.v4_recent.n_prefixes
+        assert comparison.v6_recent.n_ases < comparison.v4_recent.n_ases
+
+    def test_v6_grows(self, comparison):
+        assert comparison.v6_recent.n_prefixes > comparison.v6_early.n_prefixes
+        assert comparison.v6_recent.n_ases >= comparison.v6_early.n_ases
+
+    def test_v6_single_atom_share_declines(self, comparison):
+        # §5.1: the share of single-atom ASes falls as IPv6 matures.
+        assert (
+            comparison.v6_recent.ases_one_atom_share
+            <= comparison.v6_early.ases_one_atom_share + 0.05
+        )
+
+
+class TestOtherViews:
+    def test_distribution_cdfs(self):
+        simulator = SimulatedInternet(PARAMS, start="2022-01-01")
+        study = IPv6Study(simulator)
+        cdfs = study.distribution_cdfs(year=2022, month=1)
+        for key in (
+            "v4_atoms_per_as",
+            "v6_atoms_per_as",
+            "v4_prefixes_per_atom",
+            "v6_prefixes_per_atom",
+        ):
+            assert cdfs[key], key
+            assert cdfs[key][-1][1] == pytest.approx(1.0)
+
+    def test_v6_trend_and_updates(self):
+        simulator = SimulatedInternet(PARAMS, start="2016-01-01")
+        study = IPv6Study(simulator)
+        results = study.v6_trend([2016, 2018], with_stability=False)
+        assert [r.year for r in results] == [2016, 2018]
+        suite = study.v6_update_suite(year=2019, month=1)
+        assert suite.updates is not None

@@ -1,0 +1,87 @@
+"""Focused tests for the trend-series builders on synthetic results."""
+
+import pytest
+
+from repro.analysis.longitudinal import (
+    YearResult,
+    formation_trend_series,
+    fullfeed_trend_series,
+    stability_trend_series,
+)
+from repro.core.statistics import GeneralStats
+
+
+def make_result(year, d1=0.4, cam_8h=0.96, mpm_8h=0.98, cam_1w=0.80,
+                mpm_1w=0.90, max_prefixes=1000, full_feed=10):
+    stats = GeneralStats(
+        n_prefixes=100, n_ases=10, n_ases_one_atom=5, n_atoms=40,
+        n_single_prefix_atoms=20, mean_atom_size=2.5, p99_atom_size=9,
+        max_atom_size=12,
+    )
+    remaining = 1.0 - d1
+    return YearResult(
+        year=year,
+        suite=None,
+        stats=stats,
+        formation_shares={1: d1, 2: remaining / 2, 3: remaining / 3,
+                          4: remaining / 6, 5: 0.0},
+        formation_shares_no_single={1: d1 / 2, 2: remaining / 2,
+                                    3: remaining / 3, 4: remaining / 6, 5: 0.0},
+        stability={"8h": (cam_8h, mpm_8h), "24h": (0.9, 0.95),
+                   "1w": (cam_1w, mpm_1w)},
+        feed={"max_prefixes": max_prefixes, "threshold": int(0.9 * max_prefixes),
+              "full_feed": full_feed, "partial": 3},
+    )
+
+
+RESULTS = [
+    make_result(2004, d1=0.45, max_prefixes=1315, full_feed=5),
+    make_result(2014, d1=0.30, max_prefixes=5000, full_feed=12),
+    make_result(2024, d1=0.20, cam_8h=0.84, max_prefixes=10000, full_feed=24),
+]
+
+
+class TestFormationSeries:
+    def test_solid_and_dashed_lines(self):
+        series = formation_trend_series(RESULTS)
+        names = [line.name for line in series]
+        assert "distance 1" in names
+        assert "distance 1 (excl. single-atom ASes)" in names
+        assert len(series) == 10
+
+    def test_values_are_percentages(self):
+        series = formation_trend_series(RESULTS)
+        by_name = {line.name: line for line in series}
+        assert by_name["distance 1"].ys() == [45.0, 30.0, 20.0]
+
+    def test_custom_max_distance(self):
+        series = formation_trend_series(RESULTS, max_distance=3)
+        assert len(series) == 6
+
+
+class TestStabilitySeries:
+    def test_four_lines(self):
+        series = stability_trend_series(RESULTS)
+        assert len(series) == 4
+
+    def test_values(self):
+        by_name = {line.name: line for line in stability_trend_series(RESULTS)}
+        cam = by_name["Complete atom match (after 8 hours)"]
+        assert cam.ys() == [96.0, 96.0, 84.0]
+        week = by_name["Maximized prefix match (after 1 week)"]
+        assert week.ys() == [90.0, 90.0, 90.0]
+
+    def test_missing_horizon_yields_none(self):
+        result = make_result(2010)
+        result.stability.pop("1w")
+        series = stability_trend_series([result])
+        by_name = {line.name: line for line in series}
+        assert by_name["Complete atom match (after 1 week)"].ys() == [None]
+
+
+class TestFullfeedSeries:
+    def test_threshold_and_peers(self):
+        threshold, peers = fullfeed_trend_series(RESULTS)
+        assert threshold.ys() == [1315.0, 5000.0, 10000.0]
+        assert peers.ys() == [5.0, 12.0, 24.0]
+        assert threshold.xs() == [2004, 2014, 2024]

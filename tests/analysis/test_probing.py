@@ -1,0 +1,100 @@
+"""Tests for the probing-target application (paper §5.5 / §6)."""
+
+import pytest
+
+from repro.analysis.probing import build_probing_plan, plan_accuracy, staleness_curve
+from repro.core.atoms import AtomSet, PolicyAtom
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+VP = [("rrc00", 1, "a")]
+P = [f"10.0.{i}.0/24" for i in range(8)]
+
+
+def make_atoms(partition, id_base=0):
+    atoms = [
+        PolicyAtom(
+            id_base + index,
+            frozenset(Prefix.parse(text) for text in group),
+            (ASPath.from_asns([1, 5, 9]),),
+        )
+        for index, group in enumerate(partition)
+    ]
+    return AtomSet(atoms, VP)
+
+
+class TestPlan:
+    def test_one_target_per_atom(self):
+        plan = build_probing_plan(make_atoms([[P[0], P[1]], [P[2]]]))
+        assert plan.target_count == 2
+        assert plan.total_prefixes == 3
+        # Deterministic representative: the lowest prefix.
+        assert Prefix.parse(P[0]) in plan.targets()
+
+    def test_reduction_factor(self):
+        plan = build_probing_plan(make_atoms([[P[0], P[1], P[2], P[3]]]))
+        assert plan.reduction_factor == pytest.approx(4.0)
+
+    def test_all_prefixes_covered(self):
+        atoms = make_atoms([[P[0], P[1]], [P[2], P[3]], [P[4]]])
+        plan = build_probing_plan(atoms)
+        assert set(plan.covered_by) == atoms.prefixes()
+
+    def test_empty(self):
+        plan = build_probing_plan(make_atoms([]))
+        assert plan.target_count == 0
+        assert plan.reduction_factor == 1.0
+
+
+class TestAccuracy:
+    def test_perfect_when_unchanged(self):
+        atoms = make_atoms([[P[0], P[1]], [P[2]]])
+        plan = build_probing_plan(atoms)
+        later = make_atoms([[P[0], P[1]], [P[2]]], id_base=10)
+        assert plan_accuracy(plan, later) == 1.0
+
+    def test_drifted_prefix_counts_against(self):
+        plan = build_probing_plan(make_atoms([[P[0], P[1], P[2]]]))
+        # P[2] moved to its own atom: representative P[0] no longer
+        # observes its paths.
+        later = make_atoms([[P[0], P[1]], [P[2]]], id_base=10)
+        assert plan_accuracy(plan, later) == pytest.approx(2 / 3)
+
+    def test_vanished_prefix_counts_against(self):
+        plan = build_probing_plan(make_atoms([[P[0], P[1]]]))
+        later = make_atoms([[P[0]]], id_base=10)
+        assert plan_accuracy(plan, later) == pytest.approx(0.5)
+
+    def test_new_prefixes_ignored(self):
+        plan = build_probing_plan(make_atoms([[P[0]]]))
+        later = make_atoms([[P[0]], [P[5]]], id_base=10)
+        assert plan_accuracy(plan, later) == 1.0
+
+    def test_staleness_curve_shape(self):
+        plan = build_probing_plan(make_atoms([[P[0], P[1]], [P[2], P[3]]]))
+        fresh = make_atoms([[P[0], P[1]], [P[2], P[3]]], id_base=10)
+        drifted = make_atoms([[P[0]], [P[1]], [P[2], P[3]]], id_base=20)
+        curve = staleness_curve(plan, [(0.0, fresh), (7.0, drifted)])
+        assert curve[0] == (0.0, 1.0)
+        assert curve[1][1] < 1.0
+
+
+class TestOnSimulatedWorld:
+    def test_probing_saves_and_stays_accurate(self):
+        # Advancing time requires a private simulator (the session
+        # fixtures are frozen at their snapshot instant).
+        from repro.core.pipeline import compute_policy_atoms
+        from repro.simulation.scenario import SimulatedInternet
+        from tests.conftest import TEST_WORLD
+
+        internet = SimulatedInternet(TEST_WORLD, start="2004-01-15 08:00")
+        base = compute_policy_atoms(
+            internet.rib_records("2004-01-15 08:00")
+        ).atoms
+        plan = build_probing_plan(base)
+        assert plan.reduction_factor > 1.5  # meaningful probe savings
+        later = compute_policy_atoms(
+            internet.rib_records("2004-01-16 08:00")
+        ).atoms
+        accuracy = plan_accuracy(plan, later)
+        assert accuracy > 0.85  # a day-old plan still measures well

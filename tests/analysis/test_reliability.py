@@ -1,0 +1,74 @@
+"""Tests for vantage-point reliability scoring (paper §7.1)."""
+
+import pytest
+
+from repro.analysis.reliability import (
+    VPReliability,
+    score_vantage_points,
+    select_reliable,
+)
+from repro.core.splits import SplitEvent
+from repro.net.prefix import Prefix
+
+VPS = [("rrc00", 1, "a"), ("rrc00", 2, "b"), ("rrc01", 3, "c")]
+
+
+def event(observers, n=0):
+    return SplitEvent(
+        prefixes=frozenset([Prefix.parse(f"10.0.{n}.0/24")]),
+        fragment_count=2,
+        observers=tuple(observers),
+    )
+
+
+class TestScoring:
+    def test_solo_observer_scores_low(self):
+        events = [event([VPS[0]], n=i) for i in range(5)]
+        scored = {entry.peer: entry for entry in score_vantage_points(events, VPS)}
+        assert scored[VPS[0]].score < scored[VPS[1]].score
+        assert scored[VPS[0]].solo_splits == 5
+        assert scored[VPS[1]].solo_splits == 0
+
+    def test_silent_vp_scores_one(self):
+        events = [event([VPS[0]])]
+        scored = {entry.peer: entry for entry in score_vantage_points(events, VPS)}
+        assert scored[VPS[2]].score == pytest.approx(1.0)
+
+    def test_shared_observations_weigh_less(self):
+        solo_events = [event([VPS[0]], n=i) for i in range(3)]
+        shared_events = [event(VPS, n=10 + i) for i in range(3)]
+        scored = {
+            entry.peer: entry
+            for entry in score_vantage_points(solo_events + shared_events, VPS)
+        }
+        assert scored[VPS[0]].score < scored[VPS[1]].score
+        assert scored[VPS[1]].shared_splits == 3
+
+    def test_no_events_all_perfect(self):
+        scored = score_vantage_points([], VPS)
+        assert all(entry.score == pytest.approx(1.0) for entry in scored)
+
+    def test_suspicious_flag(self):
+        entry = VPReliability(VPS[0], solo_splits=9, shared_splits=0, score=0.2)
+        assert entry.suspicious
+        entry = VPReliability(VPS[1], solo_splits=0, shared_splits=1, score=0.9)
+        assert not entry.suspicious
+
+    def test_results_sorted_worst_first(self):
+        events = [event([VPS[1]], n=i) for i in range(4)]
+        ranked = score_vantage_points(events, VPS)
+        assert ranked[0].peer == VPS[1]
+
+
+class TestSelection:
+    def test_drops_worst_fraction(self):
+        events = [event([VPS[2]], n=i) for i in range(6)]
+        kept, dropped = select_reliable(events, VPS, drop_fraction=0.34)
+        assert dropped == [VPS[2]]
+        assert VPS[2] not in kept
+        assert len(kept) + len(dropped) == len(VPS)
+
+    def test_zero_fraction_keeps_all(self):
+        events = [event([VPS[0]])]
+        kept, dropped = select_reliable(events, VPS, drop_fraction=0.0)
+        assert dropped == [] and len(kept) == 3

@@ -1,0 +1,38 @@
+"""Tests for the threshold-sensitivity analysis (Table 7)."""
+
+import pytest
+
+from repro.analysis.sensitivity import sensitivity_rows, threshold_sensitivity
+from repro.bgp.rib import RIBSnapshot
+
+
+@pytest.fixture(scope="module")
+def grid(records_2024):
+    snapshot = RIBSnapshot.from_records(records_2024)
+    return threshold_sensitivity(snapshot)
+
+
+class TestGrid:
+    def test_full_grid_computed(self, grid):
+        assert set(grid) == {(c, p) for c in (1, 2, 3) for p in (1, 2, 3, 4, 5)}
+
+    def test_monotone_in_both_axes(self, grid):
+        for c in (1, 2, 3):
+            for p in (1, 2, 3, 4):
+                assert grid[(c, p)] >= grid[(c, p + 1)]
+        for p in (1, 2, 3, 4, 5):
+            for c in (1, 2):
+                assert grid[(c, p)] >= grid[(c + 1, p)]
+
+    def test_adopted_cell_close_to_loosest(self, grid):
+        """The paper's point: (>=2, >=4) removes only a sliver."""
+        adopted = grid[(2, 4)]
+        loosest = grid[(1, 1)]
+        assert adopted > 0
+        assert adopted >= 0.8 * loosest
+
+    def test_rows_layout(self, grid):
+        rows = sensitivity_rows(grid)
+        assert len(rows) == 3
+        assert rows[0][0] == 1 and len(rows[0]) == 6
+        assert rows[1][4] == grid[(2, 4)]

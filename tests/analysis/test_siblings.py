@@ -1,0 +1,99 @@
+"""Tests for IPv4/IPv6 sibling-atom matching (paper §7.3)."""
+
+import pytest
+
+from repro.analysis.siblings import (
+    dual_stack_origins,
+    match_sibling_atoms,
+)
+from repro.core.atoms import AtomSet, PolicyAtom
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+VP = [("rrc00", 1, "a")]
+
+
+def atom(atom_id, prefixes, path):
+    return PolicyAtom(
+        atom_id,
+        frozenset(Prefix.parse(t) for t in prefixes),
+        (ASPath.parse(path),),
+    )
+
+
+def v4_set():
+    return AtomSet(
+        [
+            atom(0, ["10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24"], "1 5 9"),
+            atom(1, ["10.0.3.0/24"], "1 6 9"),
+            atom(2, ["10.1.0.0/24"], "1 5 8"),
+        ],
+        VP,
+    )
+
+
+def v6_set():
+    return AtomSet(
+        [
+            atom(0, ["2001:db8:0::/48", "2001:db8:1::/48", "2001:db8:2::/48"], "1 5 9"),
+            atom(1, ["2001:db8:f::/48"], "1 6 9"),
+        ],
+        VP,
+    )
+
+
+class TestDualStack:
+    def test_dual_stack_origins(self):
+        assert dual_stack_origins(v4_set(), v6_set()) == [9]
+
+
+class TestMatching:
+    def test_structural_match(self):
+        candidates = match_sibling_atoms(v4_set(), v6_set())
+        assert candidates
+        by_v4 = {c.v4_atom.atom_id: c for c in candidates}
+        # The big v4 atom pairs with the big v6 atom, the single-prefix
+        # atoms pair with each other.
+        assert by_v4[0].v6_atom.atom_id == 0
+        assert by_v4[1].v6_atom.atom_id == 1
+
+    def test_one_to_one(self):
+        candidates = match_sibling_atoms(v4_set(), v6_set())
+        v6_ids = [c.v6_atom.atom_id for c in candidates]
+        assert len(v6_ids) == len(set(v6_ids))
+
+    def test_only_shared_origins_matched(self):
+        candidates = match_sibling_atoms(v4_set(), v6_set())
+        assert all(c.origin == 9 for c in candidates)
+
+    def test_min_similarity_threshold(self):
+        candidates = match_sibling_atoms(v4_set(), v6_set(), min_similarity=1.01)
+        assert candidates == []
+
+    def test_prefix_pairs(self):
+        candidates = match_sibling_atoms(v4_set(), v6_set())
+        single_pair = [c for c in candidates if c.v4_atom.atom_id == 1][0]
+        assert single_pair.prefix_pairs() == [("10.0.3.0/24", "2001:db8:f::/48")]
+
+    def test_similarity_ordering(self):
+        candidates = match_sibling_atoms(v4_set(), v6_set())
+        scores = [c.similarity for c in candidates]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestIntegration:
+    def test_simulated_dual_stack_world(self, internet_2024):
+        from repro.core.pipeline import compute_policy_atoms
+        from repro.net.prefix import AF_INET6
+
+        v4 = compute_policy_atoms(internet_2024.rib_records("2024-10-15 08:00"))
+        v6 = compute_policy_atoms(
+            internet_2024.rib_records("2024-10-15 08:00", family=AF_INET6)
+        )
+        shared = dual_stack_origins(v4.atoms, v6.atoms)
+        assert shared, "2024 world must have dual-stack origins"
+        candidates = match_sibling_atoms(v4.atoms, v6.atoms)
+        assert candidates
+        for candidate in candidates[:20]:
+            assert candidate.origin in shared
+            assert 0.0 < candidate.similarity <= 1.0

@@ -1,0 +1,68 @@
+"""Tests for the vantage-point split study."""
+
+import pytest
+
+from repro.analysis.vantage import VantageStudy
+from repro.simulation.scenario import SimulatedInternet
+from repro.topology.evolution import WorldParams
+
+PARAMS = WorldParams(
+    seed=55,
+    as_scale=1 / 400.0,
+    prefix_scale=1 / 400.0,
+    peer_scale=0.04,
+    collector_scale=0.3,
+    min_fullfeed_peers=8,
+)
+
+
+@pytest.fixture(scope="module")
+def vantage_result():
+    simulator = SimulatedInternet(PARAMS, start="2018-01-01 08:00")
+    study = VantageStudy(simulator)
+    return study.run(simulator.current_time, days=8)
+
+
+class TestStudy:
+    def test_day_count(self, vantage_result):
+        # 8 snapshots -> 6 (t, t+1, t+2) triples.
+        assert len(vantage_result.days) == 6
+
+    def test_requires_three_days(self):
+        simulator = SimulatedInternet(PARAMS, start="2018-01-01 08:00")
+        with pytest.raises(ValueError):
+            VantageStudy(simulator).run(simulator.current_time, days=2)
+
+    def test_events_have_observers(self, vantage_result):
+        for event in vantage_result.all_events():
+            assert event.fragment_count >= 2
+            assert event.observer_count >= 0
+
+    def test_observer_cdf_monotone(self, vantage_result):
+        cdf = vantage_result.observer_cdf()
+        if not cdf:
+            pytest.skip("no split events in this window")
+        shares = [share for _, share in cdf]
+        assert shares == sorted(shares)
+        assert shares[-1] == pytest.approx(1.0)
+
+    def test_share_helpers_consistent(self, vantage_result):
+        if not vantage_result.all_events():
+            pytest.skip("no split events in this window")
+        single = vantage_result.share_single_observer()
+        upto3 = vantage_result.share_at_most(3)
+        assert 0 <= single <= upto3 <= 1.0
+
+    def test_daily_breakdowns(self, vantage_result):
+        for day in vantage_result.days:
+            breakdown = day.breakdown()
+            assert (
+                breakdown["single"] + breakdown["multi"] + breakdown["unobserved"]
+                == len(day.events)
+            )
+            assert (
+                breakdown["single_top"]
+                + breakdown["single_second"]
+                + breakdown["single_rest"]
+                == breakdown["single"]
+            )

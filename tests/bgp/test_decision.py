@@ -1,0 +1,98 @@
+"""Tests for the BGP decision process."""
+
+import pytest
+
+from repro.bgp.attributes import Origin, PathAttributes
+from repro.bgp.decision import CandidateRoute, best_route, rank_routes
+from repro.net.aspath import ASPath
+
+
+def candidate(neighbor, asns, local_pref=100, med=0, origin=Origin.IGP):
+    return CandidateRoute(
+        neighbor_asn=neighbor,
+        attributes=PathAttributes(
+            ASPath.from_asns(list(asns)), med=med,
+            local_pref=local_pref, origin=origin,
+        ),
+    )
+
+
+class TestSelection:
+    def test_highest_local_pref_wins(self):
+        routes = [
+            candidate(1, [1, 9], local_pref=100),
+            candidate(2, [2, 3, 4, 9], local_pref=200),
+        ]
+        assert best_route(routes).neighbor_asn == 2
+
+    def test_shortest_path_wins(self):
+        routes = [candidate(1, [1, 5, 9]), candidate(2, [2, 9])]
+        assert best_route(routes).neighbor_asn == 2
+
+    def test_as_set_counts_one_hop(self):
+        short_with_set = CandidateRoute(
+            neighbor_asn=1,
+            attributes=PathAttributes(ASPath.parse("1 {2,3,4} 9")),
+        )
+        longer = candidate(2, [2, 5, 6, 9])
+        assert best_route([short_with_set, longer]).neighbor_asn == 1
+
+    def test_origin_preference(self):
+        routes = [
+            candidate(1, [1, 9], origin=Origin.INCOMPLETE),
+            candidate(2, [2, 9], origin=Origin.IGP),
+        ]
+        assert best_route(routes).neighbor_asn == 2
+
+    def test_med_within_same_neighbor_as(self):
+        routes = [
+            candidate(1, [7, 9], med=20),
+            candidate(2, [7, 9], med=10),
+        ]
+        assert best_route(routes).neighbor_asn == 2
+
+    def test_med_not_compared_across_neighbor_ases_by_default(self):
+        # Different first AS: MED ignored, falls through to neighbor ASN.
+        routes = [
+            candidate(1, [7, 9], med=50),
+            candidate(2, [8, 9], med=1),
+        ]
+        assert best_route(routes).neighbor_asn == 1
+
+    def test_always_compare_med(self):
+        routes = [
+            candidate(1, [7, 9], med=50),
+            candidate(2, [8, 9], med=1),
+        ]
+        assert best_route(routes, always_compare_med=True).neighbor_asn == 2
+
+    def test_neighbor_asn_tiebreak(self):
+        routes = [candidate(5, [5, 9]), candidate(3, [3, 9])]
+        assert best_route(routes).neighbor_asn == 3
+
+    def test_loop_rejection(self):
+        routes = [candidate(1, [1, 42, 9]), candidate(2, [2, 5, 6, 9])]
+        assert best_route(routes, local_asn=42).neighbor_asn == 2
+
+    def test_all_looped_returns_none(self):
+        routes = [candidate(1, [1, 42, 9])]
+        assert best_route(routes, local_asn=42) is None
+
+    def test_empty(self):
+        assert best_route([]) is None
+
+
+class TestRanking:
+    def test_rank_orders_by_preference(self):
+        routes = [
+            candidate(1, [1, 5, 9]),
+            candidate(2, [2, 9], local_pref=200),
+            candidate(3, [3, 9]),
+        ]
+        ranked = rank_routes(routes)
+        assert [route.neighbor_asn for route in ranked] == [2, 3, 1]
+
+    def test_rank_drops_loops(self):
+        routes = [candidate(1, [1, 42, 9]), candidate(2, [2, 9])]
+        ranked = rank_routes(routes, local_asn=42)
+        assert [route.neighbor_asn for route in ranked] == [2]

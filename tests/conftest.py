@@ -1,0 +1,50 @@
+"""Shared fixtures: small deterministic worlds reused across test modules.
+
+Session scope keeps the suite fast — tests must treat these as
+read-only; anything that advances time builds its own simulator.
+"""
+
+import pytest
+
+from repro.simulation.scenario import SimulatedInternet
+from repro.topology.evolution import WorldParams
+
+#: Parameters for a small but structurally complete world.
+TEST_WORLD = WorldParams(
+    seed=1234,
+    as_scale=1 / 300.0,
+    prefix_scale=1 / 300.0,
+    peer_scale=0.03,
+    collector_scale=0.3,
+    min_fullfeed_peers=8,
+    min_collectors=2,
+)
+
+
+@pytest.fixture(scope="session")
+def internet_2004():
+    """A 2004 world, frozen at the paper's first snapshot instant."""
+    return SimulatedInternet(TEST_WORLD, start="2004-01-15 08:00")
+
+
+@pytest.fixture(scope="session")
+def records_2004(internet_2004):
+    return list(internet_2004.rib_records("2004-01-15 08:00"))
+
+
+@pytest.fixture(scope="session")
+def internet_2024():
+    """A 2024 world (includes IPv6, artifacts, many peers)."""
+    return SimulatedInternet(TEST_WORLD, start="2024-10-15 08:00")
+
+
+@pytest.fixture(scope="session")
+def records_2024(internet_2024):
+    return list(internet_2024.rib_records("2024-10-15 08:00"))
+
+
+@pytest.fixture(scope="session")
+def atoms_2024(records_2024):
+    from repro.core.pipeline import compute_policy_atoms
+
+    return compute_policy_atoms(records_2024)

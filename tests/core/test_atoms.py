@@ -1,0 +1,217 @@
+"""Tests for policy-atom computation on hand-built snapshots."""
+
+import pytest
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.bgp.rib import RIBSnapshot
+from repro.core.atoms import compute_atoms
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+def build_snapshot(tables):
+    """tables: {(collector, peer_asn): {prefix_text: path_text}}"""
+    records = []
+    for (collector, peer_asn), entries in tables.items():
+        elements = [
+            RouteElement(
+                ElementType.RIB,
+                Prefix.parse(prefix_text),
+                PathAttributes(ASPath.parse(path_text)),
+            )
+            for prefix_text, path_text in entries.items()
+        ]
+        records.append(
+            RouteRecord(
+                "rib", "ris", collector, peer_asn, f"10.9.{peer_asn}.1", 100, elements
+            )
+        )
+    return RIBSnapshot.from_records(records)
+
+
+P1, P2, P3 = "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"
+
+
+class TestGrouping:
+    def test_same_paths_one_atom(self):
+        snapshot = build_snapshot(
+            {
+                ("rrc00", 1): {P1: "1 5 9", P2: "1 5 9"},
+                ("rrc00", 2): {P1: "2 6 9", P2: "2 6 9"},
+            }
+        )
+        atoms = compute_atoms(snapshot)
+        assert len(atoms) == 1
+        assert atoms.atoms[0].prefixes == {Prefix.parse(P1), Prefix.parse(P2)}
+        assert atoms.atoms[0].origin == 9
+
+    def test_divergence_at_any_vp_splits(self):
+        snapshot = build_snapshot(
+            {
+                ("rrc00", 1): {P1: "1 5 9", P2: "1 5 9"},
+                ("rrc00", 2): {P1: "2 6 9", P2: "2 7 9"},  # differs here
+            }
+        )
+        atoms = compute_atoms(snapshot)
+        assert len(atoms) == 2
+
+    def test_missing_prefix_forces_empty_path_split(self):
+        # §2.3: a prefix absent from one VP cannot share an atom with a
+        # prefix present there, even if all other paths agree.
+        snapshot = build_snapshot(
+            {
+                ("rrc00", 1): {P1: "1 5 9", P2: "1 5 9"},
+                ("rrc00", 2): {P1: "2 6 9"},  # P2 missing here
+            }
+        )
+        atoms = compute_atoms(snapshot)
+        assert len(atoms) == 2
+
+    def test_prefixes_missing_at_same_vps_group(self):
+        snapshot = build_snapshot(
+            {
+                ("rrc00", 1): {P1: "1 5 9", P2: "1 5 9"},
+                ("rrc00", 2): {P3: "2 8 7"},
+            }
+        )
+        atoms = compute_atoms(snapshot)
+        assert len(atoms) == 2
+
+    def test_prepending_separates_atoms(self):
+        # Method (iii): raw paths group; prepending makes distinct atoms.
+        snapshot = build_snapshot(
+            {("rrc00", 1): {P1: "1 5 9", P2: "1 5 9 9"}}
+        )
+        assert len(compute_atoms(snapshot)) == 2
+
+    def test_strip_prepending_merges_atoms(self):
+        # Method (i): prepending removed before grouping.
+        snapshot = build_snapshot(
+            {("rrc00", 1): {P1: "1 5 9", P2: "1 5 9 9"}}
+        )
+        atoms = compute_atoms(snapshot, strip_prepending=True)
+        assert len(atoms) == 1
+
+    def test_moas_atoms_have_multiple_origins(self):
+        snapshot = build_snapshot(
+            {
+                ("rrc00", 1): {P1: "1 5 9"},
+                ("rrc00", 2): {P1: "2 6 8"},  # different origin!
+            }
+        )
+        atoms = compute_atoms(snapshot)
+        assert len(atoms) == 1
+        atom = atoms.atoms[0]
+        assert atom.origins() == {8, 9}
+        assert atom.origin is None
+
+
+class TestAsSets:
+    def test_singleton_set_expanded(self):
+        snapshot = build_snapshot(
+            {
+                ("rrc00", 1): {P1: "1 5 {9}", P2: "1 5 9"},
+            }
+        )
+        atoms = compute_atoms(snapshot)
+        assert len(atoms) == 1  # {9} expands to 9, paths equal
+
+    def test_multi_set_path_dropped(self):
+        snapshot = build_snapshot(
+            {
+                ("rrc00", 1): {P1: "1 5 {8,9}", P2: "1 5 9"},
+                ("rrc00", 2): {P1: "2 5 9", P2: "2 5 9"},
+            }
+        )
+        atoms = compute_atoms(snapshot)
+        # P1's path at peer 1 is removed -> empty there -> separate atom.
+        assert len(atoms) == 2
+
+    def test_fully_dropped_prefix_disappears(self):
+        snapshot = build_snapshot(
+            {("rrc00", 1): {P1: "1 5 {8,9}"}}
+        )
+        atoms = compute_atoms(snapshot)
+        assert atoms.prefix_count() == 0
+
+    def test_sets_preserved_when_disabled(self):
+        snapshot = build_snapshot(
+            {("rrc00", 1): {P1: "1 5 {8,9}", P2: "1 5 {8,9}"}}
+        )
+        atoms = compute_atoms(snapshot, expand_singleton_sets=False)
+        assert atoms.prefix_count() == 2
+        assert len(atoms) == 1
+
+
+class TestScoping:
+    def test_vantage_point_restriction(self):
+        snapshot = build_snapshot(
+            {
+                ("rrc00", 1): {P1: "1 5 9", P2: "1 5 9"},
+                ("rrc00", 2): {P1: "2 6 9", P2: "2 7 9"},
+            }
+        )
+        restricted = compute_atoms(
+            snapshot, vantage_points=[("rrc00", 1, "10.9.1.1")]
+        )
+        assert len(restricted) == 1  # the splitting VP is excluded
+
+    def test_prefix_restriction(self):
+        snapshot = build_snapshot(
+            {("rrc00", 1): {P1: "1 5 9", P2: "1 6 9"}}
+        )
+        atoms = compute_atoms(snapshot, prefixes=[Prefix.parse(P1)])
+        assert atoms.prefix_count() == 1
+
+    def test_vantage_point_order_does_not_matter(self):
+        snapshot = build_snapshot(
+            {
+                ("rrc00", 1): {P1: "1 5 9", P2: "1 5 9"},
+                ("rrc00", 2): {P1: "2 6 9", P2: "2 6 9"},
+            }
+        )
+        forward = compute_atoms(
+            snapshot,
+            vantage_points=[("rrc00", 1, "10.9.1.1"), ("rrc00", 2, "10.9.2.1")],
+        )
+        backward = compute_atoms(
+            snapshot,
+            vantage_points=[("rrc00", 2, "10.9.2.1"), ("rrc00", 1, "10.9.1.1")],
+        )
+        assert forward.prefix_sets() == backward.prefix_sets()
+
+
+class TestIndexes:
+    def test_by_prefix(self):
+        snapshot = build_snapshot({("rrc00", 1): {P1: "1 5 9", P2: "1 6 9"}})
+        atoms = compute_atoms(snapshot)
+        atom = atoms.atom_of(Prefix.parse(P1))
+        assert atom is not None and Prefix.parse(P1) in atom.prefixes
+        assert atoms.atom_of(Prefix.parse("203.0.113.0/24")) is None
+
+    def test_atoms_by_origin(self):
+        snapshot = build_snapshot(
+            {("rrc00", 1): {P1: "1 5 9", P2: "1 6 9", P3: "1 6 8"}}
+        )
+        grouped = compute_atoms(snapshot).atoms_by_origin()
+        assert len(grouped[9]) == 2
+        assert len(grouped[8]) == 1
+
+    def test_visible_at(self):
+        snapshot = build_snapshot(
+            {
+                ("rrc00", 1): {P1: "1 5 9"},
+                ("rrc00", 2): {},
+            }
+        )
+        atoms = compute_atoms(
+            snapshot,
+            vantage_points=[("rrc00", 1, "10.9.1.1"), ("rrc00", 2, "10.9.2.1")],
+        )
+        assert atoms.atoms[0].visible_at() == (0,)
+
+    def test_integration_atom_count_bounds(self, atoms_2024):
+        atoms = atoms_2024.atoms
+        assert 0 < len(atoms) <= atoms.prefix_count()
+        assert atoms.origin_count() <= len(atoms)

@@ -1,0 +1,100 @@
+"""Property-based tests for atom computation invariants.
+
+Random cross-peer snapshots are generated and the definitional
+invariants checked: atoms partition the prefix universe, membership is
+exactly path-vector equality, and the computation is insensitive to
+record order.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.bgp.rib import RIBSnapshot
+from repro.core.atoms import compute_atoms
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+PREFIXES = [Prefix.parse(f"10.0.{i}.0/24") for i in range(6)]
+PEERS = [("rrc00", 1, "a"), ("rrc00", 2, "b"), ("rrc01", 3, "c")]
+PATH_POOL = [
+    None,
+    (5, 9),
+    (6, 9),
+    (5, 5, 9),
+    (7, 8),
+]
+
+
+@st.composite
+def snapshots(draw):
+    """A random snapshot: per (peer, prefix), a path from the pool."""
+    records = []
+    for collector, peer_asn, address in PEERS:
+        elements = []
+        for prefix in PREFIXES:
+            choice = draw(st.sampled_from(range(len(PATH_POOL))))
+            tail = PATH_POOL[choice]
+            if tail is None:
+                continue
+            path = ASPath.from_asns([peer_asn, *tail])
+            elements.append(
+                RouteElement(ElementType.RIB, prefix, PathAttributes(path))
+            )
+        records.append(
+            RouteRecord("rib", "ris", collector, peer_asn, address, 100, elements)
+        )
+    return records
+
+
+@given(snapshots())
+@settings(max_examples=60, deadline=None)
+def test_atoms_partition_prefixes(records):
+    snapshot = RIBSnapshot.from_records(records)
+    atoms = compute_atoms(snapshot)
+    seen = set()
+    for atom in atoms:
+        assert atom.prefixes, "no empty atoms"
+        assert not (atom.prefixes & seen), "atoms must be disjoint"
+        seen |= atom.prefixes
+    assert seen == snapshot.all_prefixes()
+
+
+@given(snapshots())
+@settings(max_examples=60, deadline=None)
+def test_membership_is_path_vector_equality(records):
+    snapshot = RIBSnapshot.from_records(records)
+    atoms = compute_atoms(snapshot)
+    peers = atoms.vantage_points
+
+    def vector(prefix):
+        return tuple(snapshot.path(peer, prefix) for peer in peers)
+
+    for atom in atoms:
+        members = sorted(atom.prefixes, key=Prefix.key)
+        reference = vector(members[0])
+        for member in members[1:]:
+            assert vector(member) == reference
+    # Across atoms, vectors differ.
+    representatives = [sorted(a.prefixes, key=Prefix.key)[0] for a in atoms]
+    vectors = [vector(p) for p in representatives]
+    assert len(set(vectors)) == len(vectors)
+
+
+@given(snapshots(), st.randoms(use_true_random=False))
+@settings(max_examples=30, deadline=None)
+def test_record_order_does_not_matter(records, rng):
+    baseline = compute_atoms(RIBSnapshot.from_records(records))
+    shuffled = list(records)
+    rng.shuffle(shuffled)
+    again = compute_atoms(RIBSnapshot.from_records(shuffled))
+    assert baseline.prefix_sets() == again.prefix_sets()
+
+
+@given(snapshots())
+@settings(max_examples=30, deadline=None)
+def test_strip_prepending_never_increases_atoms(records):
+    snapshot = RIBSnapshot.from_records(records)
+    raw = compute_atoms(snapshot)
+    stripped = compute_atoms(snapshot, strip_prepending=True)
+    assert len(stripped) <= len(raw)

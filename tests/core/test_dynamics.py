@@ -1,0 +1,148 @@
+"""Tests for the BGP-dynamics classifier (paper §7.2)."""
+
+import pytest
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.core.atoms import AtomSet, PolicyAtom
+from repro.core.dynamics import (
+    EVENT_ATOM,
+    EVENT_NOISE,
+    EVENT_PARTIAL,
+    EVENT_SINGLETON,
+    classify_updates,
+    stable_atom_priority,
+)
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+VP = [("rrc00", 1, "a")]
+P = [f"10.0.{i}.0/24" for i in range(8)]
+
+
+def make_atoms(partition):
+    atoms = [
+        PolicyAtom(
+            index,
+            frozenset(Prefix.parse(text) for text in group),
+            (ASPath.from_asns([1, 5, 9]),),
+        )
+        for index, group in enumerate(partition)
+    ]
+    return AtomSet(atoms, VP)
+
+
+def update(prefix_texts, timestamp=1):
+    elements = [
+        RouteElement(
+            ElementType.ANNOUNCEMENT,
+            Prefix.parse(text),
+            PathAttributes(ASPath.from_asns([1, 5, 9])),
+        )
+        for text in prefix_texts
+    ]
+    return RouteRecord("update", "ris", "rrc00", 1, "10.0.0.1", timestamp, elements)
+
+
+class TestClassification:
+    def test_whole_atom_event(self):
+        atoms = make_atoms([[P[0], P[1]], [P[2]]])
+        summary = classify_updates(atoms, [update([P[0], P[1]])])
+        assert summary.events[0].label == EVENT_ATOM
+
+    def test_single_prefix_noise(self):
+        atoms = make_atoms([[P[0], P[1]]])
+        summary = classify_updates(atoms, [update([P[0]])])
+        assert summary.events[0].label == EVENT_NOISE
+        assert summary.events[0].is_noise
+
+    def test_partial_event(self):
+        atoms = make_atoms([[P[0], P[1], P[2]]])
+        summary = classify_updates(atoms, [update([P[0], P[1]])])
+        assert summary.events[0].label == EVENT_PARTIAL
+
+    def test_singleton_event(self):
+        atoms = make_atoms([[P[0]]])
+        summary = classify_updates(atoms, [update([P[0]])])
+        assert summary.events[0].label == EVENT_SINGLETON
+
+    def test_unknown_prefixes_skipped(self):
+        atoms = make_atoms([[P[0]]])
+        summary = classify_updates(atoms, [update(["203.0.113.0/24"])])
+        assert summary.events == []
+
+    def test_rib_records_ignored(self):
+        atoms = make_atoms([[P[0]]])
+        rib = RouteRecord(
+            "rib", "ris", "rrc00", 1, "10.0.0.1", 1,
+            [
+                RouteElement(
+                    ElementType.RIB,
+                    Prefix.parse(P[0]),
+                    PathAttributes(ASPath.from_asns([1, 9])),
+                )
+            ],
+        )
+        assert classify_updates(atoms, [rib]).events == []
+
+
+class TestSummary:
+    def _summary(self):
+        atoms = make_atoms([[P[0], P[1]], [P[2]], [P[3], P[4], P[5]]])
+        records = [
+            update([P[0], P[1]]),   # atom event
+            update([P[0]]),         # noise
+            update([P[3]]),         # noise
+            update([P[2]]),         # singleton
+            update([P[3], P[4]]),   # partial
+        ]
+        return classify_updates(atoms, records)
+
+    def test_counts(self):
+        counts = self._summary().counts()
+        assert counts == {
+            EVENT_ATOM: 1,
+            EVENT_NOISE: 2,
+            EVENT_SINGLETON: 1,
+            EVENT_PARTIAL: 1,
+        }
+
+    def test_noise_share(self):
+        assert self._summary().noise_share() == pytest.approx(2 / 5)
+
+    def test_filter_drops_only_noise(self):
+        filtered = self._summary().filtered()
+        assert len(filtered) == 3
+        assert all(not event.is_noise for event in filtered)
+
+    def test_priority_prefers_stable_full_atoms(self):
+        atoms = make_atoms([[P[0], P[1]], [P[2], P[3]]])
+        summary = classify_updates(
+            atoms,
+            [update([P[2], P[3]]), update([P[0], P[1]])],
+        )
+        ranked = stable_atom_priority(atoms, summary, historically_stable={0})
+        # The event touching the historically-stable atom 0 ranks first.
+        assert 0 in ranked[0].atoms_touched
+
+    def test_priority_defaults_to_size(self):
+        atoms = make_atoms([[P[0], P[1]], [P[2], P[3], P[4]]])
+        summary = classify_updates(
+            atoms,
+            [update([P[0], P[1]]), update([P[2], P[3], P[4]])],
+        )
+        ranked = stable_atom_priority(atoms, summary)
+        assert 1 in ranked[0].atoms_touched  # bigger atom first
+
+
+class TestIntegration:
+    def test_noise_share_on_simulated_stream(self, internet_2024, atoms_2024):
+        records = internet_2024.update_records(
+            internet_2024.current_time, hours=2.0
+        )
+        summary = classify_updates(atoms_2024.atoms, records)
+        assert summary.events
+        counts = summary.counts()
+        # All four classes appear in a realistic stream.
+        assert counts.get(EVENT_ATOM, 0) > 0
+        assert counts.get(EVENT_NOISE, 0) > 0

@@ -1,0 +1,187 @@
+"""Tests for formation-distance computation."""
+
+import pytest
+
+from repro.core.atoms import AtomSet, PolicyAtom
+from repro.core.formation import (
+    FORMATION_METHOD_II,
+    FORMATION_METHOD_III,
+    NO_SPLIT,
+    REASON_PREPEND,
+    REASON_SINGLE,
+    REASON_UNIQUE_PEERS,
+    atom_pair_split,
+    formation_distances,
+    split_point,
+)
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+VP = [("rrc00", 1, "a"), ("rrc00", 2, "b")]
+
+
+def atom(atom_id, prefixes, paths):
+    """paths: list of path texts (None for missing), peer-first order."""
+    parsed = tuple(None if p is None else ASPath.parse(p) for p in paths)
+    return PolicyAtom(
+        atom_id, frozenset(Prefix.parse(t) for t in prefixes), parsed
+    )
+
+
+def atom_set(*atoms):
+    vps = VP[: len(atoms[0].paths)]
+    return AtomSet(list(atoms), vps)
+
+
+class TestSplitPoint:
+    def test_missing_path_gives_one(self):
+        assert split_point(None, (9, 5), raw_equal=False) == 1
+        assert split_point((9, 5), None, raw_equal=False) == 1
+
+    def test_both_missing_no_split(self):
+        assert split_point(None, None, raw_equal=True) == NO_SPLIT
+
+    def test_identical_no_split(self):
+        assert split_point((9, 5, 1), (9, 5, 1), raw_equal=True) == NO_SPLIT
+
+    def test_prepend_only_difference_method_iii(self):
+        # Stripped equal, raw different -> origin-imposed: distance 1.
+        assert split_point((9, 5), (9, 5), raw_equal=False) == 1
+
+    def test_prepend_only_difference_method_ii(self):
+        assert (
+            split_point((9, 5), (9, 5), raw_equal=False, method=FORMATION_METHOD_II)
+            == NO_SPLIT
+        )
+
+    def test_divergence_position(self):
+        # Origin-first sequences; position 1 = origin.
+        assert split_point((9, 5, 1), (9, 6, 1), raw_equal=False) == 2
+        assert split_point((9, 5, 1), (9, 5, 2), raw_equal=False) == 3
+
+    def test_proper_prefix_diverges_after_shorter(self):
+        assert split_point((9, 5), (9, 5, 1), raw_equal=False) == 3
+
+
+class TestPairSplit:
+    def test_min_over_vantage_points(self):
+        a = atom(0, ["10.0.1.0/24"], ["1 5 9", "2 6 9"])
+        b = atom(1, ["10.0.2.0/24"], ["1 5 9", "2 7 9"])
+        from repro.core.formation import _atom_profiles
+
+        split = atom_pair_split(_atom_profiles(a), _atom_profiles(b))
+        assert split == 2  # diverges at the 2nd AS from origin at VP 2
+
+    def test_earliest_vp_wins(self):
+        a = atom(0, ["10.0.1.0/24"], ["1 5 9", "2 6 9"])
+        b = atom(1, ["10.0.2.0/24"], ["1 5 8", None])  # origin differs + missing
+        from repro.core.formation import _atom_profiles
+
+        assert atom_pair_split(_atom_profiles(a), _atom_profiles(b)) == 1
+
+
+class TestFormationDistances:
+    def test_single_atom_origin_distance_one(self):
+        result = formation_distances(
+            atom_set(atom(0, ["10.0.1.0/24"], ["1 5 9", "2 6 9"]))
+        )
+        assert result.distances[0] == 1
+        assert result.reasons[0] == REASON_SINGLE
+        assert result.single_atom_origins == 1
+
+    def test_two_atoms_distance_is_max_split(self):
+        a = atom(0, ["10.0.1.0/24"], ["1 5 9", "2 6 9"])
+        b = atom(1, ["10.0.2.0/24"], ["1 5 9", "2 7 9"])
+        result = formation_distances(atom_set(a, b))
+        assert result.distances[0] == 2
+        assert result.distances[1] == 2
+        assert result.dmin_per_origin[9] == 2
+        assert result.dmax_per_origin[9] == 2
+
+    def test_three_atoms_mixed_distances(self):
+        # c diverges from a at 3 and from b at 2 -> d(c) = max = 3.
+        a = atom(0, ["10.0.1.0/24"], ["1 5 4 9"])
+        b = atom(1, ["10.0.2.0/24"], ["1 6 4 9"])
+        c = atom(2, ["10.0.3.0/24"], ["1 7 4 9"])
+        result = formation_distances(AtomSet([a, b, c], VP[:1]))
+        # All pairwise splits are at position 3 (the AS above 4 differs).
+        assert result.distances == {0: 3, 1: 3, 2: 3}
+
+    def test_unique_peer_set_reason(self):
+        a = atom(0, ["10.0.1.0/24"], ["1 5 9", "2 6 9"])
+        b = atom(1, ["10.0.2.0/24"], ["1 5 9", None])
+        result = formation_distances(atom_set(a, b))
+        assert result.distances[1] == 1
+        assert result.reasons[1] == REASON_UNIQUE_PEERS
+
+    def test_prepend_reason(self):
+        a = atom(0, ["10.0.1.0/24"], ["1 5 9"])
+        b = atom(1, ["10.0.2.0/24"], ["1 5 9 9"])
+        result = formation_distances(AtomSet([a, b], VP[:1]))
+        assert result.distances[0] == 1
+        assert result.reasons[0] == REASON_PREPEND
+
+    def test_method_ii_excludes_indistinguishable(self):
+        a = atom(0, ["10.0.1.0/24"], ["1 5 9"])
+        b = atom(1, ["10.0.2.0/24"], ["1 5 9 9"])
+        result = formation_distances(
+            AtomSet([a, b], VP[:1]), method=FORMATION_METHOD_II
+        )
+        assert 0 not in result.distances
+        assert set(result.excluded) == {0, 1}
+
+    def test_moas_atoms_excluded_by_default(self):
+        moas = atom(0, ["10.0.1.0/24"], ["1 5 9", "2 6 8"])  # two origins
+        sibling = atom(1, ["10.0.2.0/24"], ["1 5 9", "2 6 9"])
+        result = formation_distances(atom_set(moas, sibling))
+        assert 0 not in result.distances
+        assert result.distances[1] == 1  # sibling is now alone under AS 9
+
+    def test_moas_atoms_included_on_request(self):
+        moas = atom(0, ["10.0.1.0/24"], ["1 5 9", "2 6 8"])
+        sibling = atom(1, ["10.0.2.0/24"], ["1 5 9", "2 6 9"])
+        result = formation_distances(atom_set(moas, sibling), include_moas=True)
+        assert 0 in result.distances
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            formation_distances(
+                atom_set(atom(0, ["10.0.1.0/24"], ["1 9", "2 9"])), method="nope"
+            )
+
+
+class TestResultViews:
+    def _result(self):
+        a = atom(0, ["10.0.1.0/24"], ["1 5 9"])
+        b = atom(1, ["10.0.2.0/24"], ["1 6 9"])
+        c = atom(2, ["10.0.3.0/24"], ["1 7 8"])  # lone atom of AS 8
+        return formation_distances(AtomSet([a, b, c], VP[:1])), 3
+
+    def test_distribution_and_shares(self):
+        result, total = self._result()
+        shares = result.distance_shares(max_distance=5)
+        assert shares[1] == pytest.approx(1 / 3)
+        assert shares[2] == pytest.approx(2 / 3)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_cumulative(self):
+        result, _ = self._result()
+        cumulative = dict(result.cumulative_shares(max_distance=3))
+        assert cumulative[3] == pytest.approx(1.0)
+
+    def test_excluding_single_origins(self):
+        result, _ = self._result()
+        a = atom(0, ["10.0.1.0/24"], ["1 5 9"])
+        b = atom(1, ["10.0.2.0/24"], ["1 6 9"])
+        c = atom(2, ["10.0.3.0/24"], ["1 7 8"])
+        shares = result.shares_excluding_single_origins(AtomSet([a, b, c], VP[:1]))
+        assert shares[2] == pytest.approx(1.0)
+        assert shares[1] == pytest.approx(0.0)
+
+    def test_tail_bucket_absorbs(self):
+        a = atom(0, ["10.0.1.0/24"], ["1 6 5 4 3 2 9"])
+        b = atom(1, ["10.0.2.0/24"], ["1 6 5 4 3 7 9"])  # diverge at pos 2? no:
+        # origin-first: (9,2,3,4,5,6) vs (9,7,3,4,5,6) -> position 2.
+        result = formation_distances(AtomSet([a, b], VP[:1]))
+        shares = result.distance_shares(max_distance=2)
+        assert shares[2] == pytest.approx(1.0)

@@ -1,0 +1,60 @@
+"""Tests for full-feed inference."""
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.bgp.rib import RIBSnapshot
+from repro.core.fullfeed import feed_summary, full_feed_peers, full_feed_threshold
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+def snapshot_with_counts(counts):
+    """counts: {peer_asn: number of prefixes}."""
+    records = []
+    for peer_asn, count in counts.items():
+        elements = [
+            RouteElement(
+                ElementType.RIB,
+                Prefix.parse(f"10.{i // 256}.{i % 256}.0/24"),
+                PathAttributes(ASPath.from_asns([peer_asn, 9])),
+            )
+            for i in range(count)
+        ]
+        records.append(
+            RouteRecord("rib", "ris", "rrc00", peer_asn, f"10.9.{peer_asn}.1",
+                        100, elements)
+        )
+    return RIBSnapshot.from_records(records)
+
+
+class TestInference:
+    def test_threshold_is_ratio_of_max(self):
+        snapshot = snapshot_with_counts({1: 1000, 2: 500})
+        assert full_feed_threshold(snapshot) == 900
+
+    def test_ninety_percent_rule(self):
+        snapshot = snapshot_with_counts({1: 1000, 2: 950, 3: 899, 4: 10})
+        peers = full_feed_peers(snapshot)
+        asns = {asn for _, asn, _ in peers}
+        assert asns == {1, 2}
+
+    def test_strictly_greater_than_threshold(self):
+        snapshot = snapshot_with_counts({1: 1000, 2: 900})
+        asns = {asn for _, asn, _ in full_feed_peers(snapshot)}
+        assert asns == {1}  # exactly 90 % does not qualify
+
+    def test_custom_ratio(self):
+        snapshot = snapshot_with_counts({1: 1000, 2: 800})
+        asns = {asn for _, asn, _ in full_feed_peers(snapshot, ratio=0.75)}
+        assert asns == {1, 2}
+
+    def test_empty_snapshot(self):
+        assert full_feed_peers(RIBSnapshot()) == []
+        assert full_feed_threshold(RIBSnapshot()) == 0
+
+    def test_feed_summary(self):
+        snapshot = snapshot_with_counts({1: 1000, 2: 950, 3: 100})
+        summary = feed_summary(snapshot)
+        assert summary["max_prefixes"] == 1000
+        assert summary["full_feed"] == 2
+        assert summary["partial"] == 1

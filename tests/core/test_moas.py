@@ -1,0 +1,74 @@
+"""Tests for MOAS detection."""
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.bgp.rib import RIBSnapshot
+from repro.core.moas import moas_prefixes, moas_share
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+def build(tables):
+    records = []
+    for peer_asn, entries in tables.items():
+        elements = [
+            RouteElement(
+                ElementType.RIB,
+                Prefix.parse(prefix),
+                PathAttributes(ASPath.parse(path)),
+            )
+            for prefix, path in entries.items()
+        ]
+        records.append(
+            RouteRecord("rib", "ris", "rrc00", peer_asn, f"10.9.{peer_asn}.1",
+                        100, elements)
+        )
+    return RIBSnapshot.from_records(records)
+
+
+class TestMoas:
+    def test_detects_conflicting_origins(self):
+        snapshot = build(
+            {
+                1: {"10.0.0.0/16": "1 5 9"},
+                2: {"10.0.0.0/16": "2 6 8"},
+            }
+        )
+        conflicts = moas_prefixes(snapshot)
+        assert conflicts == {Prefix.parse("10.0.0.0/16"): {8, 9}}
+
+    def test_consistent_origin_not_moas(self):
+        snapshot = build(
+            {
+                1: {"10.0.0.0/16": "1 5 9"},
+                2: {"10.0.0.0/16": "2 6 9"},
+            }
+        )
+        assert moas_prefixes(snapshot) == {}
+
+    def test_share(self):
+        snapshot = build(
+            {
+                1: {"10.0.0.0/16": "1 9", "10.1.0.0/16": "1 9"},
+                2: {"10.0.0.0/16": "2 8", "10.1.0.0/16": "2 9"},
+            }
+        )
+        assert moas_share(snapshot) == 0.5
+
+    def test_prefix_restriction(self):
+        snapshot = build(
+            {
+                1: {"10.0.0.0/16": "1 9", "10.1.0.0/16": "1 7"},
+                2: {"10.0.0.0/16": "2 8", "10.1.0.0/16": "2 6"},
+            }
+        )
+        only = moas_prefixes(snapshot, prefixes=[Prefix.parse("10.0.0.0/16")])
+        assert set(only) == {Prefix.parse("10.0.0.0/16")}
+
+    def test_world_moas_is_visible_and_bounded(self, internet_2024, atoms_2024):
+        dataset = atoms_2024.dataset
+        share = moas_share(
+            dataset.snapshot, dataset.vantage_points, dataset.prefixes
+        )
+        # The paper verifies < 5 % throughout 2004-2024.
+        assert 0.0 < share < 0.05

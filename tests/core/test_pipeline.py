@@ -1,0 +1,82 @@
+"""Tests for the records-in/atoms-out convenience pipeline."""
+
+import pytest
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.core.pipeline import compute_policy_atoms
+from repro.core.sanitize import SanitizationConfig
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+def records_for(tables):
+    """tables: {(collector, peer): {prefix: path_text}}"""
+    records = []
+    for (collector, peer), entries in tables.items():
+        elements = [
+            RouteElement(
+                ElementType.RIB,
+                Prefix.parse(prefix),
+                PathAttributes(ASPath.parse(path)),
+            )
+            for prefix, path in entries.items()
+        ]
+        records.append(
+            RouteRecord("rib", "ris", collector, peer, f"10.9.{peer}.1", 1, elements)
+        )
+    return records
+
+
+def full_grid(paths_by_prefix, peers=(1, 2, 3, 4, 5)):
+    """Every peer carries every prefix (keeps the visibility filter happy)."""
+    tables = {}
+    for index, peer in enumerate(peers):
+        collector = f"rrc{index % 2:02d}"
+        tables[(collector, peer)] = {
+            prefix: f"{peer} {tail}" for prefix, tail in paths_by_prefix.items()
+        }
+    return records_for(tables)
+
+
+class TestPipeline:
+    def test_end_to_end(self):
+        records = full_grid({"10.0.0.0/16": "7 9", "10.1.0.0/16": "7 9"})
+        result = compute_policy_atoms(records)
+        assert len(result.atoms) == 1
+        assert result.atoms.prefix_count() == 2
+        assert result.report.fullfeed_peers == 5
+        assert result.timestamp == 1
+
+    def test_custom_config_respected(self):
+        records = full_grid({"10.0.0.0/28": "7 9"})
+        strict = compute_policy_atoms(records)
+        assert strict.atoms.prefix_count() == 0  # /28 filtered
+        loose = compute_policy_atoms(
+            records, config=SanitizationConfig(keep_all_lengths=True)
+        )
+        assert loose.atoms.prefix_count() == 1
+
+    def test_strip_prepending_switch(self):
+        records = full_grid({"10.0.0.0/16": "7 9", "10.1.0.0/16": "7 9 9"})
+        raw = compute_policy_atoms(records)
+        stripped = compute_policy_atoms(records, strip_prepending=True)
+        assert len(raw.atoms) == 2
+        assert len(stripped.atoms) == 1
+
+    def test_atoms_only_use_fullfeed_vantage_points(self):
+        records = full_grid({"10.0.0.0/16": "7 9", "10.1.0.0/16": "7 9"})
+        # A partial peer whose view would split the atom: must be ignored.
+        records += records_for(
+            {("rrc00", 50): {"10.0.0.0/16": "50 8 9"}}
+        )
+        result = compute_policy_atoms(records)
+        assert len(result.atoms) == 1
+        vantage_asns = {asn for _, asn, _ in result.atoms.vantage_points}
+        assert 50 not in vantage_asns
+
+    def test_report_travels_with_atoms(self):
+        records = full_grid({"10.0.0.0/16": "7 9"})
+        result = compute_policy_atoms(records)
+        assert result.report is result.dataset.report
+        assert result.dataset.prefixes == result.atoms.prefixes()

@@ -1,0 +1,143 @@
+"""Tests for atom-split detection and observer counting."""
+
+import pytest
+
+from repro.core.atoms import AtomSet, PolicyAtom
+from repro.core.splits import (
+    detect_splits,
+    observer_count_distribution,
+    top_observer_breakdown,
+)
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+VP = [("rrc00", 1, "a"), ("rrc00", 2, "b"), ("rrc01", 3, "c")]
+P = [f"10.0.{i}.0/24" for i in range(6)]
+
+
+def atom(atom_id, prefixes, path_texts):
+    paths = tuple(
+        None if text is None else ASPath.parse(text) for text in path_texts
+    )
+    return PolicyAtom(
+        atom_id, frozenset(Prefix.parse(t) for t in prefixes), paths
+    )
+
+
+def atoms(*items):
+    return AtomSet(list(items), VP)
+
+
+def stable_pair():
+    """The same 2-prefix atom at t and t+1."""
+    first = atoms(atom(0, [P[0], P[1]], ["1 9", "2 9", "3 9"]))
+    second = atoms(atom(10, [P[0], P[1]], ["1 9", "2 9", "3 9"]))
+    return first, second
+
+
+class TestDetection:
+    def test_no_split_when_composition_stable(self):
+        first, second = stable_pair()
+        third = atoms(atom(20, [P[0], P[1]], ["1 8 9", "2 8 9", "3 8 9"]))
+        # Paths changed wholesale but the grouping held: not a split.
+        assert detect_splits(first, second, third) == []
+
+    def test_split_detected(self):
+        first, second = stable_pair()
+        third = atoms(
+            atom(20, [P[0]], ["1 9", "2 9", "3 9"]),
+            atom(21, [P[1]], ["1 9", "2 8 9", "3 9"]),
+        )
+        events = detect_splits(first, second, third)
+        assert len(events) == 1
+        assert events[0].prefixes == {Prefix.parse(P[0]), Prefix.parse(P[1])}
+        assert events[0].fragment_count == 2
+
+    def test_atom_must_be_stable_before_split(self):
+        # Present only at t+1 (not t) -> not counted.
+        first = atoms(atom(0, [P[0]], ["1 9", "2 9", "3 9"]),
+                      atom(1, [P[1]], ["1 8 9", "2 9", "3 9"]))
+        second = atoms(atom(10, [P[0], P[1]], ["1 9", "2 9", "3 9"]))
+        third = atoms(
+            atom(20, [P[0]], ["1 9", "2 9", "3 9"]),
+            atom(21, [P[1]], ["1 8 9", "2 9", "3 9"]),
+        )
+        assert detect_splits(first, second, third) == []
+
+    def test_merges_ignored(self):
+        first = atoms(
+            atom(0, [P[0]], ["1 9", "2 9", "3 9"]),
+            atom(1, [P[1]], ["1 8 9", "2 9", "3 9"]),
+        )
+        second = atoms(
+            atom(10, [P[0]], ["1 9", "2 9", "3 9"]),
+            atom(11, [P[1]], ["1 8 9", "2 9", "3 9"]),
+        )
+        third = atoms(atom(20, [P[0], P[1]], ["1 9", "2 9", "3 9"]))
+        assert detect_splits(first, second, third) == []
+
+    def test_vanished_prefix_counts_as_fragment(self):
+        first, second = stable_pair()
+        third = atoms(atom(20, [P[0]], ["1 9", "2 9", "3 9"]))  # P[1] gone
+        events = detect_splits(first, second, third)
+        assert len(events) == 1
+        assert events[0].fragment_count == 2
+
+    def test_single_prefix_atoms_cannot_split(self):
+        first = atoms(atom(0, [P[0]], ["1 9", "2 9", "3 9"]))
+        second = atoms(atom(10, [P[0]], ["1 9", "2 9", "3 9"]))
+        third = atoms(atom(20, [P[0]], ["1 8 9", "2 8 9", "3 8 9"]))
+        assert detect_splits(first, second, third) == []
+
+
+class TestObservers:
+    def test_localized_split_observed_by_one_vp(self):
+        first, second = stable_pair()
+        # Only VP 2's view diverges between the two prefixes.
+        third = atoms(
+            atom(20, [P[0]], ["1 9", "2 9", "3 9"]),
+            atom(21, [P[1]], ["1 9", "2 7 9", "3 9"]),
+        )
+        events = detect_splits(first, second, third)
+        assert events[0].observer_count == 1
+        assert events[0].observers[0] == ("rrc00", 2, "b")
+
+    def test_global_split_observed_by_all(self):
+        first, second = stable_pair()
+        third = atoms(
+            atom(20, [P[0]], ["1 9", "2 9", "3 9"]),
+            atom(21, [P[1]], ["1 7 9", "2 7 9", "3 7 9"]),
+        )
+        events = detect_splits(first, second, third)
+        assert events[0].observer_count == 3
+
+    def test_vp_that_never_carried_atom_not_an_observer(self):
+        first = atoms(atom(0, [P[0], P[1]], ["1 9", None, "3 9"]))
+        second = atoms(atom(10, [P[0], P[1]], ["1 9", None, "3 9"]))
+        third = atoms(
+            atom(20, [P[0]], ["1 9", None, "3 9"]),
+            atom(21, [P[1]], ["1 7 9", None, "3 9"]),
+        )
+        events = detect_splits(first, second, third)
+        observers = {peer for peer in events[0].observers}
+        assert ("rrc00", 2, "b") not in observers
+
+
+class TestAggregation:
+    def _events(self):
+        first, second = stable_pair()
+        third = atoms(
+            atom(20, [P[0]], ["1 9", "2 9", "3 9"]),
+            atom(21, [P[1]], ["1 9", "2 7 9", "3 9"]),
+        )
+        return detect_splits(first, second, third)
+
+    def test_observer_distribution(self):
+        distribution = observer_count_distribution(self._events())
+        assert distribution == {1: 1}
+
+    def test_breakdown(self):
+        breakdown = top_observer_breakdown(self._events())
+        assert breakdown["single"] == 1
+        assert breakdown["multi"] == 0
+        assert breakdown["single_top"] == 1

@@ -1,0 +1,140 @@
+"""Tests for CAM / MPM stability metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.atoms import AtomSet, PolicyAtom
+from repro.core.stability import (
+    complete_atom_match,
+    greedy_atom_mapping,
+    maximized_prefix_match,
+    stability_pair,
+)
+from repro.net.prefix import AF_INET, Prefix
+
+VP = [("rrc00", 1, "a")]
+
+
+def make_atoms(partition, id_base=0):
+    """partition: list of lists of prefix texts."""
+    atoms = [
+        PolicyAtom(
+            id_base + index,
+            frozenset(Prefix.parse(text) for text in group),
+            (None,),
+        )
+        for index, group in enumerate(partition)
+    ]
+    return AtomSet(atoms, VP)
+
+
+P = [f"10.0.{i}.0/24" for i in range(8)]
+
+
+class TestCAM:
+    def test_identical_sets(self):
+        first = make_atoms([[P[0], P[1]], [P[2]]])
+        second = make_atoms([[P[2]], [P[0], P[1]]], id_base=10)
+        assert complete_atom_match(first, second) == 1.0
+
+    def test_one_atom_split(self):
+        first = make_atoms([[P[0], P[1]], [P[2]]])
+        second = make_atoms([[P[0]], [P[1]], [P[2]]], id_base=10)
+        assert complete_atom_match(first, second) == pytest.approx(0.5)
+
+    def test_merge_breaks_both_sides(self):
+        first = make_atoms([[P[0]], [P[1]]])
+        second = make_atoms([[P[0], P[1]]], id_base=10)
+        assert complete_atom_match(first, second) == 0.0
+
+    def test_asymmetry(self):
+        first = make_atoms([[P[0], P[1]]])
+        second = make_atoms([[P[0], P[1]], [P[2]]], id_base=10)
+        assert complete_atom_match(first, second) == 1.0
+        assert complete_atom_match(second, first) == pytest.approx(0.5)
+
+    def test_empty(self):
+        empty = make_atoms([])
+        assert complete_atom_match(empty, empty) == 0.0
+
+
+class TestMPM:
+    def test_identical(self):
+        first = make_atoms([[P[0], P[1]], [P[2]]])
+        second = make_atoms([[P[0], P[1]], [P[2]]], id_base=10)
+        assert maximized_prefix_match(first, second) == 1.0
+
+    def test_split_keeps_majority(self):
+        # 3-prefix atom splits 2+1: the mapping keeps 2 of 3 in place,
+        # and the split-off single prefix maps one-to-one as well.
+        first = make_atoms([[P[0], P[1], P[2]]])
+        second = make_atoms([[P[0], P[1]], [P[2]]], id_base=10)
+        assert maximized_prefix_match(first, second) == pytest.approx(2 / 3)
+
+    def test_mapping_is_one_to_one(self):
+        first = make_atoms([[P[0], P[1]], [P[2], P[3]]])
+        second = make_atoms([[P[0], P[1], P[2], P[3]]], id_base=10)
+        mapping = greedy_atom_mapping(first, second)
+        assert len(set(mapping.values())) == len(mapping)
+        # Only one t1 atom can claim the merged atom: 2 of 4 prefixes.
+        assert maximized_prefix_match(first, second) == pytest.approx(0.5)
+
+    def test_prefix_departed_entirely(self):
+        first = make_atoms([[P[0], P[1]]])
+        second = make_atoms([[P[0], P[2]]], id_base=10)
+        assert maximized_prefix_match(first, second) == pytest.approx(0.5)
+
+    def test_mpm_at_least_cam_weighted(self):
+        # Any atom matched exactly by CAM contributes all its prefixes
+        # to MPM, so with uniform sizes MPM >= CAM.
+        first = make_atoms([[P[0]], [P[1]], [P[2]], [P[3]]])
+        second = make_atoms([[P[0]], [P[1]], [P[2], P[3]]], id_base=10)
+        cam, mpm = stability_pair(first, second)
+        assert mpm >= cam
+
+
+# ----------------------------------------------------------------------
+# Property-based: random repartitions.
+# ----------------------------------------------------------------------
+
+@st.composite
+def partitions(draw, prefixes=tuple(P[:6])):
+    labels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=3),
+            min_size=len(prefixes),
+            max_size=len(prefixes),
+        )
+    )
+    groups = {}
+    for prefix, label in zip(prefixes, labels):
+        groups.setdefault(label, []).append(prefix)
+    return list(groups.values())
+
+
+@given(partitions())
+def test_self_stability_is_perfect(partition):
+    atoms = make_atoms(partition)
+    later = make_atoms(partition, id_base=50)
+    assert complete_atom_match(atoms, later) == 1.0
+    assert maximized_prefix_match(atoms, later) == 1.0
+
+
+@given(partitions(), partitions())
+def test_metrics_bounded(first_partition, second_partition):
+    first = make_atoms(first_partition)
+    second = make_atoms(second_partition, id_base=50)
+    cam, mpm = stability_pair(first, second)
+    assert 0.0 <= cam <= 1.0
+    assert 0.0 <= mpm <= 1.0
+
+
+@given(partitions(), partitions())
+def test_mpm_counts_only_real_overlap(first_partition, second_partition):
+    first = make_atoms(first_partition)
+    second = make_atoms(second_partition, id_base=50)
+    mpm = maximized_prefix_match(first, second)
+    total = sum(atom.size for atom in first)
+    shared = len(first.prefixes() & second.prefixes())
+    if total:
+        assert mpm <= shared / total + 1e-9

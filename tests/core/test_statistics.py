@@ -1,0 +1,99 @@
+"""Tests for general statistics helpers."""
+
+import pytest
+
+from repro.core.atoms import AtomSet, PolicyAtom
+from repro.core.statistics import (
+    atoms_per_as_distribution,
+    cdf,
+    general_stats,
+    percentile,
+    prefixes_per_as_distribution,
+    prefixes_per_atom_distribution,
+)
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+VP = [("rrc00", 1, "a")]
+
+
+def atom(atom_id, prefixes, origin):
+    return PolicyAtom(
+        atom_id,
+        frozenset(Prefix.parse(t) for t in prefixes),
+        (ASPath.from_asns([1, 5, origin]),),
+    )
+
+
+def sample_set():
+    return AtomSet(
+        [
+            atom(0, ["10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24"], 9),
+            atom(1, ["10.0.3.0/24"], 9),
+            atom(2, ["10.1.0.0/24"], 8),
+        ],
+        VP,
+    )
+
+
+class TestGeneralStats:
+    def test_counts(self):
+        stats = general_stats(sample_set())
+        assert stats.n_prefixes == 5
+        assert stats.n_ases == 2
+        assert stats.n_atoms == 3
+        assert stats.n_ases_one_atom == 1
+        assert stats.n_single_prefix_atoms == 2
+        assert stats.mean_atom_size == pytest.approx(5 / 3)
+        assert stats.max_atom_size == 3
+
+    def test_shares(self):
+        stats = general_stats(sample_set())
+        assert stats.ases_one_atom_share == pytest.approx(0.5)
+        assert stats.single_prefix_atom_share == pytest.approx(2 / 3)
+
+    def test_rows_render(self):
+        rows = general_stats(sample_set()).rows()
+        assert rows[0] == ("Number of prefixes", "5")
+        assert any("%" in value for _, value in rows)
+
+    def test_empty(self):
+        stats = general_stats(AtomSet([], VP))
+        assert stats.n_atoms == 0
+        assert stats.mean_atom_size == 0.0
+        assert stats.ases_one_atom_share == 0.0
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.99) == 100
+        assert percentile(values, 0.5) == 51
+        assert percentile(values, 0.0) == 1
+
+    def test_empty(self):
+        assert percentile([], 0.99) == 0
+
+    def test_single(self):
+        assert percentile([7], 0.99) == 7
+
+
+class TestDistributions:
+    def test_atoms_per_as(self):
+        distribution = atoms_per_as_distribution(sample_set())
+        assert distribution == {2: 1, 1: 1}
+
+    def test_prefixes_per_atom(self):
+        distribution = prefixes_per_atom_distribution(sample_set())
+        assert distribution == {3: 1, 1: 2}
+
+    def test_prefixes_per_as(self):
+        distribution = prefixes_per_as_distribution(sample_set())
+        assert distribution == {4: 1, 1: 1}
+
+    def test_cdf(self):
+        points = cdf(prefixes_per_atom_distribution(sample_set()))
+        assert points == [(1, pytest.approx(2 / 3)), (3, pytest.approx(1.0))]
+
+    def test_cdf_empty(self):
+        assert cdf({}) == []

@@ -1,0 +1,142 @@
+"""Tests for the update-correlation analysis (Pr_full semantics)."""
+
+import pytest
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.core.atoms import AtomSet, PolicyAtom
+from repro.core.update_correlation import (
+    GROUP_AS,
+    GROUP_AS_MULTI_ATOM,
+    GROUP_AS_SINGLE_ATOMS,
+    GROUP_ATOM,
+    update_correlation,
+)
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+VP = [("rrc00", 1, "a")]
+P = [f"10.0.{i}.0/24" for i in range(8)]
+
+
+def make_atom(atom_id, prefixes, origin):
+    path = ASPath.from_asns([1, 5, origin])
+    return PolicyAtom(
+        atom_id, frozenset(Prefix.parse(t) for t in prefixes), (path,)
+    )
+
+
+def update(prefix_texts, timestamp=1):
+    elements = [
+        RouteElement(
+            ElementType.ANNOUNCEMENT,
+            Prefix.parse(text),
+            PathAttributes(ASPath.from_asns([1, 5, 9])),
+        )
+        for text in prefix_texts
+    ]
+    return RouteRecord("update", "ris", "rrc00", 1, "10.0.0.1", timestamp, elements)
+
+
+class TestCounting:
+    def test_full_appearance(self):
+        atoms = AtomSet([make_atom(0, [P[0], P[1]], 9)], VP)
+        result = update_correlation(atoms, [update([P[0], P[1]])])
+        assert result.pr_full(GROUP_ATOM, 2) == 1.0
+
+    def test_partial_appearance(self):
+        atoms = AtomSet([make_atom(0, [P[0], P[1]], 9)], VP)
+        result = update_correlation(atoms, [update([P[0]])])
+        assert result.pr_full(GROUP_ATOM, 2) == 0.0
+
+    def test_disjoint_record_ignored(self):
+        atoms = AtomSet([make_atom(0, [P[0], P[1]], 9)], VP)
+        result = update_correlation(atoms, [update([P[5]])])
+        assert result.pr_full(GROUP_ATOM, 2) is None
+
+    def test_formula_aggregation(self):
+        # Paper §3.3: Pr_full(k) = sum N_all / sum (N_all + N_partial)
+        # across groups of size k.
+        atoms = AtomSet(
+            [make_atom(0, [P[0], P[1]], 9), make_atom(1, [P[2], P[3]], 8)], VP
+        )
+        records = [
+            update([P[0], P[1]]),   # atom 0 full
+            update([P[0]]),         # atom 0 partial
+            update([P[2], P[3]]),   # atom 1 full
+            update([P[2], P[3]]),   # atom 1 full
+        ]
+        result = update_correlation(atoms, records)
+        assert result.pr_full(GROUP_ATOM, 2) == pytest.approx(3 / 4)
+
+    def test_superset_record_counts_full(self):
+        atoms = AtomSet([make_atom(0, [P[0], P[1]], 9)], VP)
+        result = update_correlation(atoms, [update([P[0], P[1], P[5]])])
+        assert result.pr_full(GROUP_ATOM, 2) == 1.0
+
+    def test_rib_records_ignored(self):
+        atoms = AtomSet([make_atom(0, [P[0], P[1]], 9)], VP)
+        rib = RouteRecord(
+            "rib", "ris", "rrc00", 1, "10.0.0.1", 1,
+            [
+                RouteElement(
+                    ElementType.RIB,
+                    Prefix.parse(P[0]),
+                    PathAttributes(ASPath.from_asns([1, 9])),
+                )
+            ],
+        )
+        result = update_correlation(atoms, [rib])
+        assert result.records_seen == 0
+
+    def test_max_size_cutoff(self):
+        atoms = AtomSet([make_atom(0, P[:5], 9)], VP)
+        result = update_correlation(atoms, [update(P[:5])], max_size=3)
+        assert result.pr_full(GROUP_ATOM, 5) is None
+
+
+class TestASGroups:
+    def test_as_groups_union_atoms(self):
+        # AS 9 has two atoms; the AS group holds all three prefixes.
+        atoms = AtomSet(
+            [make_atom(0, [P[0], P[1]], 9), make_atom(1, [P[2]], 9)], VP
+        )
+        result = update_correlation(atoms, [update([P[0], P[1]])])
+        assert result.pr_full(GROUP_ATOM, 2) == 1.0
+        assert result.pr_full(GROUP_AS, 3) == 0.0  # P[2] missing
+
+    def test_as_categories(self):
+        atoms = AtomSet(
+            [
+                make_atom(0, [P[0], P[1]], 9),   # AS 9: multi-prefix atom
+                make_atom(1, [P[2]], 8),          # AS 8: all single-prefix
+                make_atom(2, [P[3]], 8),
+            ],
+            VP,
+        )
+        result = update_correlation(
+            atoms, [update([P[0], P[1]]), update([P[2]])]
+        )
+        assert result.pr_full(GROUP_AS_MULTI_ATOM, 2) == 1.0
+        # AS 8 was touched but never fully (P[3] absent).
+        assert result.pr_full(GROUP_AS_SINGLE_ATOMS, 2) == 0.0
+
+    def test_curve_shape(self):
+        atoms = AtomSet([make_atom(0, [P[0], P[1]], 9)], VP)
+        result = update_correlation(atoms, [update([P[0], P[1]])])
+        curve = result.curve(GROUP_ATOM, max_size=4)
+        assert curve[0] == (2, 1.0)
+        assert curve[1] == (3, None)
+
+
+class TestIntegration:
+    def test_atoms_beat_ases(self, internet_2024, atoms_2024):
+        """The paper's headline: Pr_full(atoms) > Pr_full(ASes)."""
+        records = internet_2024.update_records(
+            internet_2024.current_time, hours=4.0
+        )
+        result = update_correlation(atoms_2024.atoms, records, max_size=7)
+        atom_points = [v for _, v in result.curve(GROUP_ATOM) if v is not None]
+        as_points = [v for _, v in result.curve(GROUP_AS) if v is not None]
+        assert atom_points and as_points
+        assert sum(atom_points) / len(atom_points) > sum(as_points) / len(as_points)

@@ -1,0 +1,84 @@
+"""Property-based tests for the Pr_full counting semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.core.atoms import AtomSet, PolicyAtom
+from repro.core.update_correlation import GROUP_ATOM, update_correlation
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+VP = [("rrc00", 1, "a")]
+PREFIXES = [Prefix.parse(f"10.0.{i}.0/24") for i in range(6)]
+
+
+def atoms_from_labels(labels):
+    groups = {}
+    for prefix, label in zip(PREFIXES, labels):
+        groups.setdefault(label, []).append(prefix)
+    atoms = [
+        PolicyAtom(index, frozenset(members), (ASPath.from_asns([1, 9]),))
+        for index, members in enumerate(groups.values())
+    ]
+    return AtomSet(atoms, VP)
+
+
+def update(prefixes, timestamp=1):
+    elements = [
+        RouteElement(
+            ElementType.ANNOUNCEMENT, prefix,
+            PathAttributes(ASPath.from_asns([1, 9])),
+        )
+        for prefix in prefixes
+    ]
+    return RouteRecord("update", "ris", "rrc00", 1, "10.0.0.1", timestamp, elements)
+
+
+labelings = st.lists(
+    st.integers(min_value=0, max_value=3),
+    min_size=len(PREFIXES), max_size=len(PREFIXES),
+)
+record_sets = st.lists(
+    st.sets(st.sampled_from(PREFIXES), min_size=1), min_size=1, max_size=12
+)
+
+
+@given(labelings, record_sets)
+@settings(max_examples=80, deadline=None)
+def test_pr_full_bounded_and_counts_consistent(labels, prefix_sets):
+    atom_set = atoms_from_labels(labels)
+    records = [update(prefixes, timestamp=i) for i, prefixes in enumerate(prefix_sets)]
+    result = update_correlation(atom_set, records)
+
+    assert result.records_seen == len(records)
+    for counts in result.groups.get(GROUP_ATOM, {}).values():
+        assert counts.n_all >= 0 and counts.n_partial >= 0
+        # A group can be touched at most once per record.
+        assert counts.n_all + counts.n_partial <= len(records)
+    for size in range(1, len(PREFIXES) + 1):
+        value = result.pr_full(GROUP_ATOM, size)
+        assert value is None or 0.0 <= value <= 1.0
+
+
+@given(labelings)
+@settings(max_examples=40, deadline=None)
+def test_whole_atom_records_score_one(labels):
+    atom_set = atoms_from_labels(labels)
+    records = [update(set(atom.prefixes), timestamp=i)
+               for i, atom in enumerate(atom_set)]
+    result = update_correlation(atom_set, records)
+    for atom in atom_set:
+        value = result.pr_full(GROUP_ATOM, atom.size)
+        assert value == 1.0
+
+
+@given(labelings)
+@settings(max_examples=40, deadline=None)
+def test_single_prefix_records_never_full_for_multi(labels):
+    atom_set = atoms_from_labels(labels)
+    records = [update({prefix}, timestamp=i) for i, prefix in enumerate(PREFIXES)]
+    result = update_correlation(atom_set, records)
+    for size in range(2, len(PREFIXES) + 1):
+        value = result.pr_full(GROUP_ATOM, size)
+        assert value in (None, 0.0)

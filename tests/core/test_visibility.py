@@ -1,0 +1,80 @@
+"""Tests for the visibility report."""
+
+import pytest
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.bgp.rib import RIBSnapshot
+from repro.core.visibility import visibility_report
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+def build(tables):
+    """tables: {(collector, peer): [prefix texts]}"""
+    records = []
+    for (collector, peer), prefixes in tables.items():
+        elements = [
+            RouteElement(
+                ElementType.RIB,
+                Prefix.parse(text),
+                PathAttributes(ASPath.from_asns([peer, 9])),
+            )
+            for text in prefixes
+        ]
+        records.append(
+            RouteRecord("rib", "ris", collector, peer, f"10.9.{peer}.1", 1, elements)
+        )
+    return RIBSnapshot.from_records(records)
+
+
+@pytest.fixture
+def report():
+    snapshot = build(
+        {
+            ("rrc00", 1): ["10.0.0.0/8", "11.0.0.0/8", "12.0.0.0/8"],
+            ("rrc00", 2): ["10.0.0.0/8", "11.0.0.0/8"],
+            ("rrc01", 3): ["10.0.0.0/8"],
+        }
+    )
+    return visibility_report(snapshot)
+
+
+class TestReport:
+    def test_distributions(self, report):
+        assert report.by_peer_ases == {3: 1, 2: 1, 1: 1}
+        assert report.by_collectors == {2: 1, 1: 2}
+        assert report.total_prefixes == 3
+        assert report.total_peers == 3
+        assert report.total_collectors == 2
+
+    def test_share_seen_by_at_most(self, report):
+        assert report.share_seen_by_at_most(1) == pytest.approx(1 / 3)
+        assert report.share_seen_by_at_most(2) == pytest.approx(2 / 3)
+        assert report.share_seen_by_at_most(3) == pytest.approx(1.0)
+
+    def test_share_globally_visible(self, report):
+        # Threshold 0.8 of 3 peers = 2.4 -> only the 3-peer prefix counts.
+        assert report.share_globally_visible(0.8) == pytest.approx(1 / 3)
+
+    def test_cdf(self, report):
+        points = report.peer_as_cdf()
+        assert points[0] == (1, pytest.approx(1 / 3))
+        assert points[-1] == (3, pytest.approx(1.0))
+
+    def test_empty_snapshot(self):
+        report = visibility_report(RIBSnapshot())
+        assert report.total_prefixes == 0
+        assert report.share_seen_by_at_most(5) == 0.0
+        assert report.share_globally_visible() == 0.0
+
+
+class TestOnSimulatedWorld:
+    def test_paper_motivation_holds(self, records_2024):
+        """§2.3: a significant share of prefixes has low visibility,
+        while most prefixes are globally visible."""
+        report = visibility_report(RIBSnapshot.from_records(records_2024))
+        low = report.share_seen_by_at_most(3)
+        high = report.share_globally_visible(0.5)
+        assert 0.0 < low < 0.5
+        assert high > 0.5

@@ -1,0 +1,120 @@
+"""End-to-end invariants: the paper's qualitative findings must emerge
+from the full pipeline (simulate -> collect -> sanitize -> atoms ->
+analyses), not be hard-coded anywhere.
+"""
+
+import pytest
+
+from repro.core.formation import formation_distances
+from repro.core.pipeline import compute_policy_atoms
+from repro.core.stability import stability_pair
+from repro.core.statistics import general_stats
+from repro.core.update_correlation import (
+    GROUP_AS,
+    GROUP_AS_SINGLE_ATOMS,
+    GROUP_ATOM,
+    update_correlation,
+)
+from repro.net.prefix import AF_INET6
+from repro.simulation.scenario import SimulatedInternet
+from tests.conftest import TEST_WORLD
+
+
+@pytest.fixture(scope="module")
+def computed_2004(internet_2004, records_2004):
+    return compute_policy_atoms(records_2004)
+
+
+class TestAtomStructure:
+    def test_atoms_between_ases_and_prefixes(self, computed_2004):
+        stats = general_stats(computed_2004.atoms)
+        assert stats.n_ases < stats.n_atoms < stats.n_prefixes
+
+    def test_atoms_respect_origin_boundaries(self, computed_2004):
+        # Prefixes in one atom share all paths, hence the origin —
+        # the invariant behind keeping MOAS prefixes (§2.4.3).
+        for atom in computed_2004.atoms:
+            if len(atom.origins()) == 1:
+                continue
+            # MOAS atoms: every path still agrees per vantage point by
+            # construction of the grouping key.
+            assert atom.size >= 1
+
+    def test_most_atoms_form_within_five_hops(self, computed_2004):
+        result = formation_distances(computed_2004.atoms)
+        shares = result.distance_shares(max_distance=5)
+        assert sum(shares.values()) == pytest.approx(1.0, abs=0.01)
+        assert shares[5] < 0.08  # paper: 99 % form within distance 5
+
+
+class TestUpdateFinding:
+    def test_internet_operates_at_atom_level(self, internet_2024, atoms_2024):
+        """Figure 3's headline, end to end."""
+        records = internet_2024.update_records(
+            internet_2024.current_time, hours=4.0
+        )
+        correlation = update_correlation(atoms_2024.atoms, records, max_size=7)
+
+        def mean_curve(kind):
+            values = [v for _, v in correlation.curve(kind) if v is not None]
+            return sum(values) / len(values) if values else None
+
+        atom_mean = mean_curve(GROUP_ATOM)
+        as_mean = mean_curve(GROUP_AS)
+        single_mean = mean_curve(GROUP_AS_SINGLE_ATOMS)
+        assert atom_mean is not None and as_mean is not None
+        assert atom_mean > as_mean + 0.1
+        if single_mean is not None:
+            assert single_mean < atom_mean
+
+
+class TestStabilityFinding:
+    def test_short_term_beats_long_term(self):
+        sim = SimulatedInternet(TEST_WORLD, start="2008-01-15 08:00")
+        base = compute_policy_atoms(sim.rib_records("2008-01-15 08:00"))
+        after_8h = compute_policy_atoms(sim.rib_records("2008-01-15 16:00"))
+        after_week = compute_policy_atoms(sim.rib_records("2008-01-22 08:00"))
+        cam_short, mpm_short = stability_pair(base.atoms, after_8h.atoms)
+        cam_long, mpm_long = stability_pair(base.atoms, after_week.atoms)
+        assert cam_short > 0.85
+        assert cam_short >= cam_long
+        assert mpm_short >= cam_short  # prefixes stay grouped more than atoms
+
+
+class TestIPv6Finding:
+    def test_v6_pipeline_runs(self, internet_2024):
+        records = list(
+            internet_2024.rib_records("2024-10-15 08:00", family=AF_INET6)
+        )
+        computed = compute_policy_atoms(records)
+        stats = general_stats(computed.atoms)
+        assert stats.n_atoms > 0
+        assert stats.n_prefixes < 0.5 * 227363  # sanity: scaled world
+
+
+class TestSanitizationEffect:
+    def test_sanitization_deflates_atom_count(self):
+        """A8.3.2: the AS65000 peer inflates atoms by ~30 %; removing it
+        must bring the count down."""
+        sim = SimulatedInternet(TEST_WORLD, start="2021-01-15 08:00")
+        records = list(sim.rib_records("2021-01-15 08:00"))
+        leakers = [
+            p.asn for p in sim.world.layout.peers
+            if p.artifact == "private_asn" and p.artifact_active(sim.current_time)
+        ]
+        if not leakers:
+            pytest.skip("no private-asn artifact in this window")
+        clean = compute_policy_atoms(records)
+        assert leakers[0] in clean.report.removed_peers
+
+        from repro.core.atoms import compute_atoms
+        from repro.core.fullfeed import full_feed_peers
+        from repro.bgp.rib import RIBSnapshot
+
+        dirty_snapshot = RIBSnapshot.from_records(records)
+        dirty_atoms = compute_atoms(
+            dirty_snapshot,
+            vantage_points=full_feed_peers(dirty_snapshot),
+            prefixes=clean.dataset.prefixes,
+        )
+        assert len(dirty_atoms) > len(clean.atoms)

@@ -1,0 +1,54 @@
+"""Tests for repro.net.asn."""
+
+import pytest
+
+from repro.net.asn import (
+    AS_TRANS,
+    ASN_MAX,
+    is_documentation_asn,
+    is_private_asn,
+    is_public_asn,
+    is_reserved_asn,
+    validate_asn,
+)
+
+
+class TestValidation:
+    def test_accepts_ordinary_asn(self):
+        assert validate_asn(3257) == 3257
+
+    def test_accepts_four_byte_asn(self):
+        assert validate_asn(4200000000) == 4200000000
+
+    @pytest.mark.parametrize("bad", [0, -1, ASN_MAX + 1, "x", None, 1.5])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(ValueError):
+            validate_asn(bad)
+
+
+class TestClassification:
+    def test_private_range_16bit(self):
+        assert is_private_asn(65000)  # the paper's leaked ASN (A8.3.2)
+        assert is_private_asn(64512)
+        assert is_private_asn(65534)
+        assert not is_private_asn(64511)
+        assert not is_private_asn(65535)
+
+    def test_private_range_32bit(self):
+        assert is_private_asn(4200000000)
+        assert is_private_asn(4294967294)
+        assert not is_private_asn(4294967295)
+
+    def test_documentation_ranges(self):
+        assert is_documentation_asn(64496)
+        assert is_documentation_asn(65551)
+        assert not is_documentation_asn(65552)
+
+    def test_as_trans_is_reserved(self):
+        assert is_reserved_asn(AS_TRANS)
+
+    def test_public_excludes_all_reserved(self):
+        for asn in (0, 65000, 65535, AS_TRANS, 64496, ASN_MAX):
+            assert not is_public_asn(asn)
+        for asn in (1, 3257, 5511, 25885, 400000):
+            assert is_public_asn(asn)

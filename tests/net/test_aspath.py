@@ -1,0 +1,157 @@
+"""Tests for repro.net.aspath."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.aspath import ASPath, EMPTY_PATH, PathSegment, SegmentType
+
+
+class TestSegments:
+    def test_sequence_preserves_order(self):
+        segment = PathSegment(SegmentType.AS_SEQUENCE, [3, 1, 2])
+        assert segment.asns == (3, 1, 2)
+
+    def test_set_canonicalises(self):
+        a = PathSegment(SegmentType.AS_SET, [3, 1, 2, 1])
+        b = PathSegment(SegmentType.AS_SET, [1, 2, 3])
+        assert a == b and hash(a) == hash(b)
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError):
+            PathSegment(SegmentType.AS_SEQUENCE, [])
+
+
+class TestConstructionAndParsing:
+    def test_from_asns(self):
+        path = ASPath.from_asns([100, 200, 300])
+        assert str(path) == "100 200 300"
+        assert path.origin == 300
+        assert path.peer == 100
+
+    def test_empty(self):
+        assert EMPTY_PATH.is_empty
+        assert EMPTY_PATH.origin is None
+        assert not EMPTY_PATH
+
+    def test_parse_plain(self):
+        assert ASPath.parse("1 2 3") == ASPath.from_asns([1, 2, 3])
+
+    def test_parse_braces_set(self):
+        path = ASPath.parse("1 2 {3,4}")
+        assert path.has_set
+        assert path.segments[-1] == PathSegment(SegmentType.AS_SET, [3, 4])
+
+    def test_parse_bracket_set(self):
+        # The paper writes AS_SETs as "1 2 [3 4 5]".
+        path = ASPath.parse("1 2 [3 4 5]")
+        assert path.set_sizes() == [3]
+
+    def test_parse_roundtrip(self):
+        text = "1 2 [3 4]"
+        assert str(ASPath.parse(text)) == text
+
+    def test_parse_empty(self):
+        assert ASPath.parse("") == EMPTY_PATH
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ASPath.parse("1 2 x")
+        with pytest.raises(ValueError):
+            ASPath.parse("1 [2 3")
+
+
+class TestAccessors:
+    def test_hop_count_counts_set_as_one(self):
+        # RFC 4271: an AS_SET counts as a single hop.
+        assert ASPath.parse("1 2 {3,4}").hop_count() == 3
+
+    def test_hop_count_counts_prepends(self):
+        assert ASPath.from_asns([1, 2, 2, 2, 3]).hop_count() == 5
+
+    def test_origin_none_when_tail_is_set(self):
+        assert ASPath.parse("1 {2,3}").origin is None
+
+    def test_contains_asn(self):
+        path = ASPath.parse("1 2 {3,4}")
+        assert path.contains_asn(4)
+        assert not path.contains_asn(9)
+
+
+class TestPrepending:
+    def test_strip_prepending(self):
+        path = ASPath.from_asns([1, 2, 2, 2, 3, 3])
+        assert path.strip_prepending() == (1, 2, 3)
+
+    def test_strip_keeps_nonadjacent_duplicates(self):
+        assert ASPath.from_asns([1, 2, 1]).strip_prepending() == (1, 2, 1)
+
+    def test_prepend_counts(self):
+        assert ASPath.from_asns([1, 2, 2, 3]).prepend_counts() == [
+            (1, 1),
+            (2, 2),
+            (3, 1),
+        ]
+
+    def test_has_prepending(self):
+        assert ASPath.from_asns([1, 2, 2]).has_prepending
+        assert not ASPath.from_asns([1, 2, 3]).has_prepending
+
+    def test_has_loop(self):
+        assert ASPath.from_asns([1, 2, 1]).has_loop()
+        assert not ASPath.from_asns([1, 2, 2, 3]).has_loop()
+
+
+class TestAsSetHandling:
+    def test_expand_singleton(self):
+        path = ASPath.parse("1 2 {3}")
+        expanded = path.expand_singleton_sets()
+        assert expanded == ASPath.from_asns([1, 2, 3])
+        assert not expanded.has_set
+
+    def test_expand_keeps_multi_element_sets(self):
+        # §2.4.4: larger sets are preserved (callers drop these paths).
+        path = ASPath.parse("1 {2} 3 {4,5}")
+        expanded = path.expand_singleton_sets()
+        assert expanded.has_set
+        assert str(expanded) == "1 2 3 [4 5]"
+
+    def test_expand_noop_without_sets(self):
+        path = ASPath.from_asns([1, 2])
+        assert path.expand_singleton_sets() is path
+
+
+class TestEqualityAndKeys:
+    def test_key_distinguishes_set_from_sequence(self):
+        assert ASPath.parse("1 2 3").key() != ASPath.parse("1 2 {3}").key()
+
+    def test_prepended_paths_are_distinct(self):
+        # Method (iii) relies on raw paths with prepending being distinct.
+        assert ASPath.from_asns([1, 2, 3]) != ASPath.from_asns([1, 2, 2, 3])
+
+    def test_usable_as_dict_key(self):
+        table = {ASPath.from_asns([1, 2]): "a"}
+        assert table[ASPath.parse("1 2")] == "a"
+
+
+asn_lists = st.lists(st.integers(min_value=1, max_value=2**32 - 1), min_size=1, max_size=8)
+
+
+@given(asn_lists)
+def test_parse_format_roundtrip(asns):
+    path = ASPath.from_asns(asns)
+    assert ASPath.parse(str(path)) == path
+
+
+@given(asn_lists)
+def test_strip_prepending_is_idempotent(asns):
+    stripped = ASPath.from_asns(asns).strip_prepending()
+    assert ASPath.from_asns(stripped).strip_prepending() == stripped
+
+
+@given(asn_lists)
+def test_strip_prepending_preserves_endpoints(asns):
+    path = ASPath.from_asns(asns)
+    stripped = path.strip_prepending()
+    assert stripped[0] == asns[0]
+    assert stripped[-1] == asns[-1]
+    assert len(stripped) <= len(asns)

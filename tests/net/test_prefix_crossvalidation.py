@@ -1,0 +1,62 @@
+"""Cross-validation of Prefix against the stdlib ``ipaddress`` module.
+
+Our integer-based Prefix is independent of ``ipaddress``; these
+property tests confirm the two implementations agree on parsing,
+formatting, containment and subnetting.
+"""
+
+import ipaddress
+
+from hypothesis import given, strategies as st
+
+from repro.net.prefix import AF_INET, AF_INET6, Prefix
+
+v4_networks = st.builds(
+    lambda value, length: ipaddress.ip_network((value, length), strict=False),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+)
+v6_networks = st.builds(
+    lambda value, length: ipaddress.ip_network((value, length), strict=False),
+    st.integers(min_value=0, max_value=(1 << 128) - 1),
+    st.integers(min_value=0, max_value=128),
+)
+any_network = st.one_of(v4_networks, v6_networks)
+
+
+@given(any_network)
+def test_parse_agrees_with_ipaddress(network):
+    ours = Prefix.parse(str(network))
+    assert ours.network == int(network.network_address)
+    assert ours.length == network.prefixlen
+    assert ours.family == (AF_INET if network.version == 4 else AF_INET6)
+
+
+@given(any_network)
+def test_format_round_trips_through_ipaddress(network):
+    ours = Prefix.parse(str(network))
+    assert ipaddress.ip_network(str(ours)) == network
+
+
+@given(v4_networks, v4_networks)
+def test_containment_agrees(a, b):
+    ours_a = Prefix.parse(str(a))
+    ours_b = Prefix.parse(str(b))
+    assert ours_a.contains(ours_b) == b.subnet_of(a)
+
+
+@given(v4_networks)
+def test_subnets_agree(network):
+    if network.prefixlen >= 32:
+        return
+    ours = Prefix.parse(str(network))
+    expected = [str(s) for s in network.subnets()]
+    assert [str(s) for s in ours.subnets()] == expected
+
+
+@given(v6_networks)
+def test_supernet_agrees(network):
+    if network.prefixlen == 0:
+        return
+    ours = Prefix.parse(str(network))
+    assert str(ours.supernet()) == str(network.supernet())

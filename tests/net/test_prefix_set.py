@@ -1,0 +1,134 @@
+"""Tests for PrefixSet operations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.prefix import AF_INET, Prefix
+from repro.net.prefix_set import PrefixSet
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+def make(*texts):
+    return PrefixSet([p(t) for t in texts])
+
+
+class TestBasics:
+    def test_membership(self):
+        prefixes = make("10.0.0.0/8", "192.0.2.0/24")
+        assert p("10.0.0.0/8") in prefixes
+        assert p("10.0.0.0/16") not in prefixes
+        assert len(prefixes) == 2
+
+    def test_iteration_sorted(self):
+        prefixes = make("192.0.2.0/24", "10.0.0.0/8")
+        assert [str(x) for x in prefixes] == ["10.0.0.0/8", "192.0.2.0/24"]
+
+    def test_discard(self):
+        prefixes = make("10.0.0.0/8")
+        prefixes.discard(p("10.0.0.0/8"))
+        prefixes.discard(p("10.0.0.0/8"))  # idempotent
+        assert len(prefixes) == 0
+
+    def test_family_enforced(self):
+        prefixes = make("10.0.0.0/8")
+        with pytest.raises(ValueError):
+            prefixes.add(p("2001:db8::/32"))
+
+    def test_duplicates_ignored(self):
+        prefixes = PrefixSet([p("10.0.0.0/8"), p("10.0.0.0/8")])
+        assert len(prefixes) == 1
+
+
+class TestCoverage:
+    def test_covers(self):
+        prefixes = make("10.0.0.0/8")
+        assert prefixes.covers(p("10.1.0.0/16"))
+        assert not prefixes.covers(p("11.0.0.0/16"))
+
+    def test_covering_member_most_specific(self):
+        prefixes = make("10.0.0.0/8", "10.1.0.0/16")
+        assert prefixes.covering_member(p("10.1.2.0/24")) == p("10.1.0.0/16")
+
+    def test_more_specifics(self):
+        prefixes = make("10.0.0.0/8", "10.1.0.0/16", "11.0.0.0/8")
+        inside = prefixes.more_specifics_of(p("10.0.0.0/8"))
+        assert set(inside) == {p("10.0.0.0/8"), p("10.1.0.0/16")}
+
+    def test_overlaps_prefix(self):
+        prefixes = make("10.1.0.0/16")
+        assert prefixes.overlaps_prefix(p("10.0.0.0/8"))   # member inside
+        assert prefixes.overlaps_prefix(p("10.1.2.0/24"))  # member covers
+        assert not prefixes.overlaps_prefix(p("11.0.0.0/8"))
+
+    def test_maximal_members(self):
+        prefixes = make("10.0.0.0/8", "10.1.0.0/16", "11.0.0.0/8")
+        assert [str(x) for x in prefixes.maximal_members()] == [
+            "10.0.0.0/8",
+            "11.0.0.0/8",
+        ]
+
+    def test_address_span_no_double_count(self):
+        prefixes = make("10.0.0.0/8", "10.1.0.0/16")
+        assert prefixes.address_span() == 1 << 24
+
+
+class TestAggregation:
+    def test_merges_sibling_pairs(self):
+        prefixes = make("192.0.2.0/25", "192.0.2.128/25")
+        assert [str(x) for x in prefixes.aggregated()] == ["192.0.2.0/24"]
+
+    def test_recursive_merge(self):
+        prefixes = make(
+            "192.0.2.0/26", "192.0.2.64/26", "192.0.2.128/26", "192.0.2.192/26"
+        )
+        assert [str(x) for x in prefixes.aggregated()] == ["192.0.2.0/24"]
+
+    def test_absorbs_contained(self):
+        prefixes = make("10.0.0.0/8", "10.5.0.0/16")
+        assert [str(x) for x in prefixes.aggregated()] == ["10.0.0.0/8"]
+
+    def test_disjoint_untouched(self):
+        prefixes = make("10.0.0.0/8", "192.0.2.0/24")
+        assert len(prefixes.aggregated()) == 2
+
+
+class TestAlgebra:
+    def test_union_intersection_difference(self):
+        a = make("10.0.0.0/8", "11.0.0.0/8")
+        b = make("11.0.0.0/8", "12.0.0.0/8")
+        assert len(a.union(b)) == 3
+        assert [str(x) for x in a.intersection(b)] == ["11.0.0.0/8"]
+        assert [str(x) for x in a.difference(b)] == ["10.0.0.0/8"]
+
+
+prefix_strategy = st.builds(
+    Prefix.from_host_bits,
+    st.just(AF_INET),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=4, max_value=28),
+)
+
+
+@given(st.lists(prefix_strategy, max_size=25))
+def test_aggregation_preserves_address_space(prefixes):
+    original = PrefixSet(prefixes)
+    aggregated = original.aggregated()
+    assert aggregated.address_span() == original.address_span()
+    # Every original member is still covered.
+    for member in original:
+        assert aggregated.covers(member)
+
+
+@given(st.lists(prefix_strategy, max_size=25))
+def test_aggregated_is_minimal_fixed_point(prefixes):
+    aggregated = PrefixSet(prefixes).aggregated()
+    again = aggregated.aggregated()
+    assert set(aggregated) == set(again)
+    # No member contains another.
+    members = list(aggregated)
+    for i, left in enumerate(members):
+        for right in members[i + 1:]:
+            assert not left.overlaps(right)

@@ -1,0 +1,61 @@
+"""Tests for ASCII figure rendering."""
+
+from repro.reporting.figures import render_chart, render_histogram
+from repro.reporting.series import Series
+
+
+def series(name, points):
+    s = Series(name)
+    for x, y in points:
+        s.add(x, y)
+    return s
+
+
+class TestChart:
+    def test_basic_render(self):
+        chart = render_chart(
+            [series("cam", [(2004, 96.0), (2014, 94.0), (2024, 84.0)])],
+            title="stability",
+        )
+        assert "stability" in chart
+        assert "legend: o cam" in chart
+        assert "2004" in chart and "2024" in chart
+
+    def test_multiple_series_markers(self):
+        chart = render_chart(
+            [
+                series("a", [(0, 0.0), (10, 10.0)]),
+                series("b", [(0, 10.0), (10, 0.0)]),
+            ]
+        )
+        assert "o" in chart and "x" in chart
+        assert "o a" in chart and "x b" in chart
+
+    def test_none_values_skipped(self):
+        chart = render_chart([series("sparse", [(0, None), (1, 5.0)])])
+        assert "(no data)" not in chart
+
+    def test_empty(self):
+        assert "(no data)" in render_chart([series("empty", [])])
+
+    def test_constant_series_does_not_crash(self):
+        chart = render_chart([series("flat", [(0, 5.0), (10, 5.0)])])
+        assert "flat" in chart
+
+    def test_y_bounds_respected(self):
+        chart = render_chart(
+            [series("a", [(0, 50.0)])], y_min=0.0, y_max=100.0
+        )
+        assert "100" in chart and chart.strip().endswith("a")
+
+
+class TestHistogram:
+    def test_bars_scale(self):
+        text = render_histogram({1: 10, 2: 5, 3: 0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 0
+
+    def test_title_and_empty(self):
+        assert render_histogram({}, title="t") == "t\n(no data)"

@@ -1,0 +1,46 @@
+"""Tests for figure series."""
+
+import csv
+
+from repro.reporting.series import Series, write_csv
+
+
+class TestSeries:
+    def test_add_and_access(self):
+        series = Series("cam")
+        series.add(2004, 96.3)
+        series.add(2024, 83.7)
+        assert series.xs() == [2004, 2024]
+        assert series.ys() == [96.3, 83.7]
+        assert series.last() == 83.7
+
+    def test_none_values_allowed(self):
+        series = Series("sparse")
+        series.add(1, None)
+        assert series.ys() == [None]
+        assert "-" in series.render()
+
+    def test_render(self):
+        series = Series("cam")
+        series.add(2004, 96.34)
+        text = series.render(x_label="year")
+        assert "series: cam" in text
+        assert "year=2004: 96.3" in text
+
+
+class TestCsv:
+    def test_union_grid(self, tmp_path):
+        a = Series("a")
+        a.add(1, 10.0)
+        a.add(2, 20.0)
+        b = Series("b")
+        b.add(2, 200.0)
+        b.add(3, 300.0)
+        path = tmp_path / "out.csv"
+        write_csv(path, [a, b])
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "a", "b"]
+        assert rows[1] == ["1", "10.0", ""]
+        assert rows[2] == ["2", "20.0", "200.0"]
+        assert rows[3] == ["3", "", "300.0"]

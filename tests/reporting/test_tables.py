@@ -1,0 +1,30 @@
+"""Tests for table rendering."""
+
+from repro.reporting.tables import render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(
+            ["Metric", "2004", "2024"],
+            [("atoms", 34261, 483117), ("mean size", 3.84, 2.13)],
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("Metric")
+        assert "34,261" not in table  # no implicit formatting of ints
+        assert "3.84" in table and "2.13" in table
+
+    def test_title(self):
+        table = render_table(["a"], [[1]], title="Table 1")
+        assert table.splitlines()[0] == "Table 1"
+        assert table.splitlines()[1] == "======="
+
+    def test_numbers_right_aligned(self):
+        table = render_table(["label", "v"], [("x", 1), ("longer", 100)])
+        lines = table.splitlines()
+        assert lines[-1].endswith("100")
+        assert lines[-2].endswith("  1")
+
+    def test_handles_empty_rows(self):
+        table = render_table(["a", "b"], [])
+        assert "a" in table

@@ -1,0 +1,101 @@
+"""Tests for artifact-injection helpers."""
+
+import random
+
+import pytest
+
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.simulation.artifacts import (
+    ADDPATH_WARNINGS,
+    LEAKED_PRIVATE_ASN,
+    addpath_warning_for,
+    garble_path,
+    inject_private_asn,
+    maybe_as_set_path,
+    stable_fraction,
+    stuck_route_path,
+    stuck_route_prefixes,
+)
+
+
+class TestStableFraction:
+    def test_deterministic(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert stable_fraction(prefix, 7) == stable_fraction(prefix, 7)
+
+    def test_in_unit_interval(self):
+        for i in range(50):
+            prefix = Prefix.parse(f"10.{i}.0.0/16")
+            value = stable_fraction(prefix, i)
+            assert 0.0 <= value < 1.0
+
+    def test_salt_changes_value(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        values = {stable_fraction(prefix, salt) for salt in range(20)}
+        assert len(values) > 10
+
+
+class TestAddpath:
+    def test_warning_rotation(self):
+        warnings = {addpath_warning_for(i) for i in range(6)}
+        assert warnings == set(ADDPATH_WARNINGS)
+
+    def test_garble_inserts_bogus_hop(self):
+        path = ASPath.from_asns([1, 2, 3, 4])
+        garbled = garble_path(path, 7)
+        assert garbled != path
+        assert garbled.contains_asn(23456)  # AS_TRANS
+        # The original origin is preserved at the tail.
+        assert garbled.origin == 4
+
+    def test_garble_empty_path_safe(self):
+        empty = ASPath(())
+        assert garble_path(empty, 1) == empty
+
+
+class TestPrivateAsnLeak:
+    def test_inserted_after_peer(self):
+        path = ASPath.from_asns([25885, 7, 9])
+        leaked = inject_private_asn(path)
+        assert leaked.asns()[:2] == (25885, LEAKED_PRIVATE_ASN)
+        assert leaked.origin == 9
+
+    def test_empty_path_safe(self):
+        empty = ASPath(())
+        assert inject_private_asn(empty) == empty
+
+
+class TestAsSetConversion:
+    def test_singleton_or_pair(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        path = ASPath.from_asns([1, 2, 3, 4])
+        converted = maybe_as_set_path(path, prefix, True, 5)
+        assert converted is not None and converted.has_set
+        sizes = converted.set_sizes()
+        assert sizes in ([1], [2])
+
+    def test_short_path_not_converted(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert maybe_as_set_path(ASPath.from_asns([1, 2]), prefix, True, 5) is None
+
+    def test_deterministic_per_prefix(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        path = ASPath.from_asns([1, 2, 3, 4])
+        assert maybe_as_set_path(path, prefix, True, 5) == maybe_as_set_path(
+            path, prefix, True, 5
+        )
+
+
+class TestStuckRoutes:
+    def test_prefixes_in_shared_space(self):
+        shared = Prefix.parse("100.64.0.0/10")
+        prefixes = stuck_route_prefixes(random.Random(3), 10)
+        assert len(prefixes) == 10
+        assert all(shared.contains(p) for p in prefixes)
+        assert all(p.length == 24 for p in prefixes)
+
+    def test_path_starts_at_peer(self):
+        path = stuck_route_path(random.Random(3), 65001)
+        assert path.peer == 65001
+        assert path.hop_count() == 4

@@ -1,0 +1,42 @@
+"""Tests for the SimulatedInternet facade."""
+
+import pytest
+
+from repro.bgp.rib import RIBSnapshot
+from repro.simulation.scenario import SimulatedInternet
+from repro.util.dates import parse_utc
+from tests.conftest import TEST_WORLD
+
+
+class TestFacade:
+    def test_accepts_string_and_int_times(self):
+        sim = SimulatedInternet(TEST_WORLD, start="2004-01-15 08:00")
+        assert sim.current_time == parse_utc("2004-01-15 08:00")
+        sim.advance_to(sim.current_time + 3600)
+
+    def test_rib_snapshot_materialises(self):
+        sim = SimulatedInternet(TEST_WORLD, start="2004-01-15 08:00")
+        snapshot = sim.rib_snapshot("2004-01-15 08:00")
+        assert isinstance(snapshot, RIBSnapshot)
+        assert len(snapshot.peers()) > 0
+
+    def test_time_moves_forward_only(self):
+        sim = SimulatedInternet(TEST_WORLD, start="2004-01-15 08:00")
+        sim.advance_to("2004-02-01")
+        with pytest.raises(ValueError):
+            sim.advance_to("2004-01-20")
+
+    def test_cache_reuse_across_nearby_snapshots(self):
+        # An individual window can lose the cache to a VP policy change
+        # (graph rewire), but across the paper's three stability windows
+        # some reuse must occur.
+        sim = SimulatedInternet(TEST_WORLD, start="2004-01-15 08:00")
+        for when in (
+            "2004-01-15 08:00",
+            "2004-01-15 16:00",
+            "2004-01-16 08:00",
+            "2004-01-22 08:00",
+        ):
+            sim.rib_snapshot(when)
+        assert sim.engine.hits > 0
+        assert sim.engine.misses < 4 * len(sim.world.origins(4))

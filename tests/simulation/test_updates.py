@@ -1,0 +1,90 @@
+"""Tests for the update-stream generator."""
+
+import pytest
+
+from repro.net.prefix import AF_INET6
+from repro.simulation.scenario import SimulatedInternet
+from repro.simulation.updates import UpdateStreamConfig, _poisson
+from repro.util.dates import HOUR
+from repro.util.determinism import derive_rng
+from tests.conftest import TEST_WORLD
+
+
+@pytest.fixture(scope="module")
+def update_stream():
+    sim = SimulatedInternet(TEST_WORLD, start="2024-10-15 08:00")
+    start = sim.current_time
+    records = sim.update_records(start, hours=4.0)
+    return sim, start, records
+
+
+class TestStream:
+    def test_nonempty_and_sorted(self, update_stream):
+        _, _, records = update_stream
+        assert records
+        times = [record.timestamp for record in records]
+        assert times == sorted(times)
+
+    def test_within_window(self, update_stream):
+        _, start, records = update_stream
+        for record in records:
+            assert start <= record.timestamp < start + int(4.5 * HOUR)
+
+    def test_update_type_and_known_peers(self, update_stream):
+        sim, _, records = update_stream
+        peer_ids = {peer.peer_id for peer in sim.world.layout.peers}
+        for record in records:
+            assert record.record_type == "update"
+            assert record.peer_id in peer_ids
+
+    def test_multi_prefix_records_exist(self, update_stream):
+        _, _, records = update_stream
+        assert any(len(record) > 1 for record in records), (
+            "atoms should sometimes travel whole in one record"
+        )
+
+    def test_single_prefix_records_exist(self, update_stream):
+        _, _, records = update_stream
+        assert any(len(record) == 1 for record in records)
+
+    def test_v6_stream(self):
+        sim = SimulatedInternet(TEST_WORLD, start="2024-10-15 08:00")
+        records = sim.update_records(sim.current_time, hours=2.0, family=AF_INET6)
+        for record in records[:20]:
+            for element in record.elements:
+                assert element.prefix.family == AF_INET6
+
+    def test_determinism(self):
+        def build():
+            sim = SimulatedInternet(TEST_WORLD, start="2014-01-15 08:00")
+            return sim.update_records(sim.current_time, hours=1.0)
+
+        first, second = build(), build()
+        assert len(first) == len(second)
+        for left, right in zip(first, second):
+            assert left.timestamp == right.timestamp
+            assert left.prefixes() == right.prefixes()
+
+
+class TestConfig:
+    def test_pack_probability_declines_with_size(self):
+        config = UpdateStreamConfig()
+        assert config.pack_probability(2) >= config.pack_probability(5)
+        assert config.pack_probability(50) == config.pack_full_floor
+
+    def test_for_year_trend(self):
+        early = UpdateStreamConfig.for_year(2004)
+        late = UpdateStreamConfig.for_year(2024)
+        assert early.pack_full_base > late.pack_full_base
+
+
+class TestPoisson:
+    def test_zero_rate(self):
+        rng = derive_rng(1, "poisson")
+        assert _poisson(rng, 0.0) == 0
+
+    def test_mean_roughly_matches(self):
+        rng = derive_rng(1, "poisson")
+        samples = [_poisson(rng, 2.0) for _ in range(2000)]
+        mean = sum(samples) / len(samples)
+        assert 1.8 < mean < 2.2

@@ -1,0 +1,84 @@
+"""Tests for the on-disk record archive."""
+
+import pytest
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.stream.archive import RecordArchive
+
+
+def make_record(collector="rrc00", project="ris", peer_asn=1, timestamp=1000,
+                record_type="rib"):
+    return RouteRecord(
+        record_type, project, collector, peer_asn, "10.0.0.1", timestamp,
+        [
+            RouteElement(
+                ElementType.RIB if record_type == "rib" else ElementType.ANNOUNCEMENT,
+                Prefix.parse("10.0.0.0/8"),
+                PathAttributes(ASPath.from_asns([peer_asn, 9])),
+            )
+        ],
+    )
+
+
+class TestArchive:
+    def test_write_and_read(self, tmp_path):
+        archive = RecordArchive(tmp_path)
+        written = archive.write_dump([make_record(), make_record(peer_asn=2)])
+        assert len(written) == 1  # same collector/type -> one file
+        records = list(archive.records())
+        assert len(records) == 2
+        assert {r.peer_asn for r in records} == {1, 2}
+
+    def test_layout_is_self_describing(self, tmp_path):
+        archive = RecordArchive(tmp_path)
+        archive.write_dump([make_record(timestamp=1_600_000_000)])
+        dumps = archive.dumps()
+        assert len(dumps) == 1
+        project, collector, rtype, stamp, path = dumps[0]
+        assert (project, collector, rtype, stamp) == ("ris", "rrc00", "rib", 1_600_000_000)
+        assert "ris/rrc00/rib/2020/09" in str(path)
+
+    def test_groups_by_collector(self, tmp_path):
+        archive = RecordArchive(tmp_path)
+        written = archive.write_dump(
+            [make_record("rrc00"), make_record("rrc01")]
+        )
+        assert len(written) == 2
+
+    def test_filters(self, tmp_path):
+        archive = RecordArchive(tmp_path)
+        archive.write_dump([make_record("rrc00", "ris")])
+        archive.write_dump([make_record("route-views2", "routeviews")])
+        ris_only = list(archive.records(project="ris"))
+        assert len(ris_only) == 1 and ris_only[0].project == "ris"
+
+    def test_time_filters(self, tmp_path):
+        archive = RecordArchive(tmp_path)
+        archive.write_dump([make_record(timestamp=100)], dump_timestamp=100)
+        archive.write_dump([make_record(timestamp=200)], dump_timestamp=200)
+        assert len(list(archive.records(from_time=150))) == 1
+        assert len(list(archive.records(until_time=150))) == 1
+        assert len(list(archive.records(from_time=50, until_time=250))) == 2
+
+    def test_record_type_separation(self, tmp_path):
+        archive = RecordArchive(tmp_path)
+        archive.write_dump(
+            [make_record(record_type="rib"), make_record(record_type="update")]
+        )
+        assert len(list(archive.records(record_type="rib"))) == 1
+        assert len(list(archive.records(record_type="update"))) == 1
+
+
+class TestIntegrationWithSimulator:
+    def test_snapshot_archive_roundtrip(self, tmp_path, records_2004):
+        archive = RecordArchive(tmp_path)
+        sample = records_2004[:10]
+        archive.write_dump(sample, dump_timestamp=sample[0].timestamp)
+        restored = list(archive.records())
+        assert len(restored) == len(sample)
+        originals = {(r.peer_id, tuple(r.elements)) for r in sample}
+        recovered = {(r.peer_id, tuple(r.elements)) for r in restored}
+        assert originals == recovered

@@ -1,0 +1,97 @@
+"""Tests for stream filter combinators."""
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.stream.filters import (
+    apply,
+    by_collector,
+    by_peer_asn,
+    by_prefix,
+    by_project,
+    by_time,
+    by_type,
+    healthy,
+)
+
+
+def record(collector="rrc00", project="ris", peer=1, timestamp=100,
+           prefixes=("10.0.0.0/8",), record_type="update", warning=""):
+    elements = [
+        RouteElement(
+            ElementType.ANNOUNCEMENT if record_type == "update" else ElementType.RIB,
+            Prefix.parse(text),
+            PathAttributes(ASPath.from_asns([peer, 9])),
+        )
+        for text in prefixes
+    ]
+    return RouteRecord(record_type, project, collector, peer, "10.0.0.1",
+                       timestamp, elements, corrupt_warning=warning)
+
+
+SAMPLE = [
+    record("rrc00", "ris", 1, 100, ("10.0.0.0/8",)),
+    record("rrc01", "ris", 2, 200, ("11.0.0.0/8",)),
+    record("route-views2", "routeviews", 3, 300, ("10.5.0.0/16",), warning="bad"),
+]
+
+
+class TestAtoms:
+    def test_by_collector(self):
+        kept = list(apply(SAMPLE, by_collector("rrc00", "rrc01")))
+        assert len(kept) == 2
+
+    def test_by_project(self):
+        kept = list(apply(SAMPLE, by_project("routeviews")))
+        assert [r.collector for r in kept] == ["route-views2"]
+
+    def test_by_peer_asn(self):
+        kept = list(apply(SAMPLE, by_peer_asn(2, 3)))
+        assert {r.peer_asn for r in kept} == {2, 3}
+
+    def test_by_type(self):
+        mixed = SAMPLE + [record(record_type="rib")]
+        assert len(list(apply(mixed, by_type("rib")))) == 1
+
+    def test_by_time(self):
+        kept = list(apply(SAMPLE, by_time(150, 250)))
+        assert [r.timestamp for r in kept] == [200]
+
+    def test_by_prefix_covering(self):
+        kept = list(apply(SAMPLE, by_prefix("10.0.0.0/8")))
+        assert len(kept) == 2  # the /8 itself and the /16 inside it
+
+    def test_healthy(self):
+        kept = list(apply(SAMPLE, healthy()))
+        assert all(not r.is_corrupt for r in kept)
+        assert len(kept) == 2
+
+
+class TestCombinators:
+    def test_and(self):
+        predicate = by_project("ris") & by_time(150, 300)
+        kept = list(apply(SAMPLE, predicate))
+        assert [r.collector for r in kept] == ["rrc01"]
+
+    def test_or(self):
+        predicate = by_collector("rrc00") | by_peer_asn(3)
+        kept = list(apply(SAMPLE, predicate))
+        assert len(kept) == 2
+
+    def test_not(self):
+        kept = list(apply(SAMPLE, ~by_project("ris")))
+        assert [r.project for r in kept] == ["routeviews"]
+
+    def test_description_composes(self):
+        predicate = ~(by_project("ris") & by_collector("rrc00"))
+        assert "ris" in predicate.description
+        assert predicate.description.startswith("(not")
+
+    def test_lazy(self):
+        def generator():
+            yield SAMPLE[0]
+            raise RuntimeError("must not be reached")
+
+        stream = apply(generator(), by_collector("rrc00"))
+        assert next(stream).collector == "rrc00"

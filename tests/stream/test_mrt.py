@@ -1,0 +1,220 @@
+"""Tests for the MRT (RFC 6396) reader/writer."""
+
+import io
+
+import pytest
+
+from repro.bgp.attributes import Community, PathAttributes
+from repro.bgp.messages import ElementType
+from repro.net.aspath import ASPath
+from repro.net.prefix import AF_INET6, Prefix
+from repro.stream.mrt import (
+    MRTError,
+    MRTReader,
+    MRTWriter,
+    _decode_nlri,
+    _encode_nlri,
+    read_mrt,
+)
+
+
+def attrs(asns, communities=(), med=0):
+    return PathAttributes(
+        ASPath.from_asns(list(asns)), communities=communities, med=med
+    )
+
+
+def roundtrip(write):
+    buffer = io.BytesIO()
+    writer = MRTWriter(buffer)
+    write(writer)
+    buffer.seek(0)
+    return list(read_mrt(buffer, project="ris", collector="rrc00"))
+
+
+class TestNlriCodec:
+    @pytest.mark.parametrize(
+        "text", ["0.0.0.0/0", "10.0.0.0/8", "192.0.2.128/25", "203.0.113.7/32"]
+    )
+    def test_v4_roundtrip(self, text):
+        prefix = Prefix.parse(text)
+        decoded, offset = _decode_nlri(_encode_nlri(prefix), 0, prefix.family)
+        assert decoded == prefix
+        assert offset == len(_encode_nlri(prefix))
+
+    @pytest.mark.parametrize("text", ["2001:db8::/32", "::/0", "2001:db8::1/128"])
+    def test_v6_roundtrip(self, text):
+        prefix = Prefix.parse(text)
+        decoded, _ = _decode_nlri(_encode_nlri(prefix), 0, prefix.family)
+        assert decoded == prefix
+
+    def test_truncated_rejected(self):
+        with pytest.raises(MRTError):
+            _decode_nlri(bytes([24, 10]), 0, 4)  # /24 needs 3 bytes
+
+
+class TestTableDumpV2:
+    def test_rib_roundtrip(self):
+        path_a = attrs([65001, 3257, 65010], communities=[Community(3257, 2990)])
+        path_b = attrs([65002, 1299, 65010], med=50)
+
+        def write(writer):
+            writer.write_peer_index(
+                [(65001, "10.0.0.1"), (65002, "10.0.0.2")], timestamp=100
+            )
+            writer.write_rib_entry(
+                Prefix.parse("192.0.2.0/24"),
+                [(65001, "10.0.0.1", path_a), (65002, "10.0.0.2", path_b)],
+                timestamp=100,
+            )
+
+        records = roundtrip(write)
+        assert len(records) == 2
+        first, second = records
+        assert first.record_type == "rib"
+        assert first.peer_asn == 65001 and first.peer_address == "10.0.0.1"
+        element = first.elements[0]
+        assert element.prefix == Prefix.parse("192.0.2.0/24")
+        assert element.attributes.as_path == ASPath.from_asns([65001, 3257, 65010])
+        assert Community(3257, 2990) in element.attributes.communities
+        assert second.elements[0].attributes.med == 50
+
+    def test_v6_rib(self):
+        def write(writer):
+            writer.write_peer_index([(65001, "10.0.0.1")])
+            writer.write_rib_entry(
+                Prefix.parse("2001:db8::/32"),
+                [(65001, "10.0.0.1", attrs([65001, 9]))],
+            )
+
+        records = roundtrip(write)
+        assert records[0].elements[0].prefix.family == AF_INET6
+
+    def test_rib_before_index_fails(self):
+        buffer = io.BytesIO()
+        writer = MRTWriter(buffer)
+        writer.write_peer_index([(65001, "10.0.0.1")])
+        writer.write_rib_entry(
+            Prefix.parse("10.0.0.0/8"), [(65001, "10.0.0.1", attrs([65001, 9]))]
+        )
+        data = buffer.getvalue()
+        # Drop the index record: reader must reject the dangling entry.
+        header = data[:12]
+        import struct
+
+        length = struct.unpack(">IHHI", header)[3]
+        stripped = io.BytesIO(data[12 + length:])
+        with pytest.raises(MRTError):
+            list(read_mrt(stripped))
+
+
+class TestBgp4mp:
+    def test_update_roundtrip(self):
+        bundle = attrs([65001, 2, 9], communities=[Community(2, 7)])
+
+        def write(writer):
+            writer.write_update(
+                65001,
+                "10.0.0.1",
+                announced=[
+                    (Prefix.parse("10.1.0.0/16"), bundle),
+                    (Prefix.parse("10.2.0.0/16"), bundle),
+                ],
+                withdrawn=[Prefix.parse("10.3.0.0/16")],
+                timestamp=1234,
+            )
+
+        records = roundtrip(write)
+        assert len(records) == 1
+        record = records[0]
+        assert record.record_type == "update"
+        assert record.timestamp == 1234
+        announced = record.announced_prefixes()
+        assert announced == {Prefix.parse("10.1.0.0/16"), Prefix.parse("10.2.0.0/16")}
+        withdrawals = [e for e in record.elements if e.is_withdrawal]
+        assert [e.prefix for e in withdrawals] == [Prefix.parse("10.3.0.0/16")]
+        kept = [e for e in record.elements if not e.is_withdrawal][0]
+        assert kept.attributes.as_path == bundle.as_path
+
+    def test_v6_update_uses_mp_reach(self):
+        bundle = attrs([65001, 9])
+
+        def write(writer):
+            writer.write_update(
+                65001,
+                "10.0.0.1",
+                announced=[(Prefix.parse("2001:db8::/32"), bundle)],
+                withdrawn=[Prefix.parse("2001:db9::/32")],
+            )
+
+        records = roundtrip(write)
+        prefixes = {str(e.prefix) for e in records[0].elements}
+        assert prefixes == {"2001:db8::/32", "2001:db9::/32"}
+
+    def test_pure_withdrawal(self):
+        def write(writer):
+            writer.write_update(
+                65001, "10.0.0.1", announced=[],
+                withdrawn=[Prefix.parse("10.0.0.0/8")],
+            )
+
+        records = roundtrip(write)
+        assert records[0].elements[0].is_withdrawal
+
+
+class TestRobustness:
+    def test_unknown_type_flagged_not_dropped(self):
+        import struct
+
+        buffer = io.BytesIO()
+        buffer.write(struct.pack(">IHHI", 7, 99, 1, 0))
+        buffer.seek(0)
+        records = list(read_mrt(buffer))
+        assert len(records) == 1
+        assert records[0].is_corrupt
+        assert "unknown MRT record type 99/1" in records[0].corrupt_warning
+
+    def test_truncated_body(self):
+        import struct
+
+        buffer = io.BytesIO(struct.pack(">IHHI", 7, 13, 2, 100) + b"\x00" * 10)
+        with pytest.raises(MRTError):
+            list(read_mrt(buffer))
+
+    def test_empty_stream(self):
+        assert list(read_mrt(io.BytesIO())) == []
+
+
+class TestPipelineIntegration:
+    def test_mrt_feeds_atom_computation(self):
+        """MRT records drive the sanitize -> atoms pipeline directly."""
+        from repro.core.atoms import compute_atoms
+        from repro.bgp.rib import RIBSnapshot
+
+        def write(writer):
+            writer.write_peer_index([(11, "10.0.0.1"), (12, "10.0.0.2")])
+            for text in ("10.1.0.0/16", "10.2.0.0/16"):
+                writer.write_rib_entry(
+                    Prefix.parse(text),
+                    [
+                        (11, "10.0.0.1", attrs([11, 7, 9])),
+                        (12, "10.0.0.2", attrs([12, 8, 9])),
+                    ],
+                )
+            writer.write_rib_entry(
+                Prefix.parse("10.3.0.0/16"),
+                [
+                    (11, "10.0.0.1", attrs([11, 7, 9])),
+                    (12, "10.0.0.2", attrs([12, 5, 9])),  # diverges at peer 12
+                ],
+            )
+
+        buffer = io.BytesIO()
+        writer = MRTWriter(buffer)
+        write(writer)
+        buffer.seek(0)
+        snapshot = RIBSnapshot.from_records(read_mrt(buffer, collector="rrc00"))
+        atoms = compute_atoms(snapshot)
+        assert len(atoms) == 2
+        sizes = sorted(atom.size for atom in atoms)
+        assert sizes == [1, 2]

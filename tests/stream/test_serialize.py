@@ -1,0 +1,105 @@
+"""Tests for record serialization."""
+
+from hypothesis import given, strategies as st
+
+from repro.bgp.attributes import Community, PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.net.aspath import ASPath
+from repro.net.prefix import AF_INET, Prefix
+from repro.stream.serialize import record_from_json, record_to_json
+
+
+def roundtrip(record):
+    return record_from_json(record_to_json(record))
+
+
+class TestRoundtrip:
+    def test_announcement(self):
+        record = RouteRecord(
+            "update", "ris", "rrc00", 65001, "10.0.0.1", 1234,
+            [
+                RouteElement(
+                    ElementType.ANNOUNCEMENT,
+                    Prefix.parse("192.0.2.0/24"),
+                    PathAttributes(
+                        ASPath.from_asns([65001, 2, 3]),
+                        communities=[Community(3257, 2990)],
+                        med=10,
+                    ),
+                )
+            ],
+        )
+        restored = roundtrip(record)
+        assert restored.peer_id == record.peer_id
+        assert restored.timestamp == record.timestamp
+        assert restored.elements == record.elements
+
+    def test_withdrawal(self):
+        record = RouteRecord(
+            "update", "routeviews", "route-views2", 65001, "10.0.0.1", 1,
+            [RouteElement(ElementType.WITHDRAWAL, Prefix.parse("10.0.0.0/8"))],
+        )
+        restored = roundtrip(record)
+        assert restored.elements[0].is_withdrawal
+        assert restored.elements[0].attributes is None
+
+    def test_as_set_path(self):
+        record = RouteRecord(
+            "rib", "ris", "rrc00", 1, "10.0.0.1", 1,
+            [
+                RouteElement(
+                    ElementType.RIB,
+                    Prefix.parse("10.0.0.0/8"),
+                    PathAttributes(ASPath.parse("1 2 [3 4]")),
+                )
+            ],
+        )
+        assert roundtrip(record).elements[0].attributes.as_path.has_set
+
+    def test_corrupt_warning(self):
+        record = RouteRecord(
+            "rib", "ris", "rrc00", 1, "10.0.0.1", 1, [],
+            corrupt_warning="unknown BGP4MP record subtype 9",
+        )
+        assert roundtrip(record).corrupt_warning == record.corrupt_warning
+
+    def test_ipv6(self):
+        record = RouteRecord(
+            "rib", "ris", "rrc00", 1, "2001:db8::1", 1,
+            [
+                RouteElement(
+                    ElementType.RIB,
+                    Prefix.parse("2001:db8::/32"),
+                    PathAttributes(ASPath.from_asns([1, 2])),
+                )
+            ],
+        )
+        assert roundtrip(record).elements[0].prefix == Prefix.parse("2001:db8::/32")
+
+
+prefix_strategy = st.builds(
+    Prefix.from_host_bits,
+    st.just(AF_INET),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=8, max_value=32),
+)
+path_strategy = st.builds(
+    ASPath.from_asns,
+    st.lists(st.integers(min_value=1, max_value=2**32 - 1), min_size=1, max_size=6),
+)
+element_strategy = st.builds(
+    RouteElement,
+    st.just(ElementType.ANNOUNCEMENT),
+    prefix_strategy,
+    st.builds(PathAttributes, path_strategy),
+)
+
+
+@given(st.lists(element_strategy, max_size=8), st.integers(min_value=0, max_value=2**31))
+def test_roundtrip_property(elements, timestamp):
+    record = RouteRecord(
+        "update", "ris", "rrc00", 65001, "10.0.0.1", timestamp, elements
+    )
+    restored = roundtrip(record)
+    assert restored.elements == record.elements
+    assert restored.timestamp == timestamp

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+COMMON = ["--scale", "400", "--peer-scale", "0.03", "--seed", "5"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_requires_archive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate"])
+
+    def test_family_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["atoms", "--family", "5"])
+
+
+class TestCommands:
+    def test_atoms_from_simulation(self, capsys):
+        code = main(["atoms", "--start", "2010-01-15 08:00"] + COMMON)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Policy atom statistics" in out
+        assert "Number of atoms" in out
+
+    def test_atoms_with_formation(self, capsys):
+        code = main(
+            ["atoms", "--start", "2010-01-15 08:00", "--formation"] + COMMON
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Formation distance" in out
+
+    def test_simulate_then_atoms_roundtrip(self, tmp_path, capsys):
+        archive = tmp_path / "arch"
+        code = main(
+            ["simulate", "--start", "2010-01-15 08:00", "--archive", str(archive),
+             "--update-hours", "1"] + COMMON
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RIB dump files" in out and "update dump files" in out
+
+        code = main(["atoms", "--archive", str(archive)] + COMMON)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert str(archive) in out
+
+    def test_trend(self, capsys):
+        code = main(
+            ["trend", "--first-year", "2006", "--last-year", "2008",
+             "--step", "2", "--no-stability"] + COMMON
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Longitudinal atom trend" in out
+        assert "2006" in out and "2008" in out
+
+    def test_v6_atoms(self, capsys):
+        code = main(
+            ["atoms", "--start", "2020-01-15 08:00", "--family", "6"] + COMMON
+        )
+        assert code == 0
+        assert "Policy atom statistics" in capsys.readouterr().out

@@ -1,0 +1,47 @@
+"""Smoke checks for the example scripts.
+
+Examples are runnable end to end (some take minutes), so the fast gate
+here is: every example compiles, has a main() and a docstring, and the
+quickest one actually runs.
+"""
+
+import ast
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "longitudinal_study.py", "ipv6_vs_ipv4.py",
+            "replication_2002.py", "vantage_point_selection.py"} <= names
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles_and_is_documented(path):
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    assert ast.get_docstring(tree), f"{path.name} needs a module docstring"
+    functions = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in functions, f"{path.name} needs a main() entry point"
+    compile(source, str(path), "exec")
+
+
+def test_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=EXAMPLES_DIR.parent,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Number of atoms" in result.stdout

@@ -1,0 +1,86 @@
+"""Tests for year profiles and world scaling."""
+
+import pytest
+
+from repro.topology.evolution import (
+    MEDIUM_WORLD,
+    SMALL_WORLD,
+    TINY_WORLD,
+    WorldParams,
+    profile_for,
+)
+from repro.util.dates import utc_timestamp
+
+
+class TestProfiles:
+    def test_anchor_2004_matches_paper(self):
+        profile = profile_for(utc_timestamp(2004, 1, 15))
+        assert profile.v4_ases == pytest.approx(16490, rel=0.01)
+        assert profile.v4_prefixes == pytest.approx(131526, rel=0.01)
+
+    def test_anchor_2024_matches_paper(self):
+        profile = profile_for(utc_timestamp(2024, 10, 15))
+        assert profile.v4_prefixes == pytest.approx(1028444, rel=0.01)
+        assert profile.v6_prefixes == pytest.approx(227363, rel=0.02)
+        assert profile.v6_ases == pytest.approx(34164, rel=0.02)
+
+    def test_interpolation_monotone_population(self):
+        previous = None
+        for year in range(2004, 2025):
+            profile = profile_for(utc_timestamp(year, 6, 1))
+            if previous is not None:
+                assert profile.v4_prefixes >= previous.v4_prefixes
+                assert profile.v4_ases >= previous.v4_ases
+            previous = profile
+
+    def test_granularity_trend(self):
+        early = profile_for(utc_timestamp(2004, 1, 1))
+        late = profile_for(utc_timestamp(2024, 1, 1))
+        assert late.mean_unit_size_v4 < early.mean_unit_size_v4
+        assert late.single_unit_share_v4 < early.single_unit_share_v4
+        assert late.mix_tag_shallow > early.mix_tag_shallow
+        assert late.mix_selective < early.mix_selective
+
+    def test_clamped_outside_range(self):
+        before = profile_for(utc_timestamp(1999, 1, 1))
+        assert before.v4_ases == profile_for(utc_timestamp(2002, 1, 1)).v4_ases
+        after = profile_for(utc_timestamp(2030, 1, 1))
+        assert after.v4_prefixes == pytest.approx(1028444, rel=0.01)
+
+    def test_mix_sums_to_one_ish(self):
+        for year in (2004, 2014, 2024):
+            profile = profile_for(utc_timestamp(year, 1, 1))
+            total = (
+                profile.mix_prepend
+                + profile.mix_selective
+                + profile.mix_tag_shallow
+                + profile.mix_tag_deep
+            )
+            assert total == pytest.approx(1.0, abs=0.25)
+
+
+class TestScaling:
+    def test_scaled_counts(self):
+        params = WorldParams(as_scale=0.01, prefix_scale=0.01, peer_scale=0.1)
+        profile = profile_for(utc_timestamp(2024, 10, 15))
+        counts = params.scaled_counts(profile)
+        assert counts.v4_ases == pytest.approx(767, abs=2)
+        assert counts.v4_prefixes == pytest.approx(10284, abs=10)
+        assert counts.fullfeed_peers == pytest.approx(60, abs=1)
+
+    def test_minimums_apply(self):
+        params = WorldParams(
+            as_scale=0.0001, prefix_scale=0.0001, peer_scale=0.0,
+            collector_scale=0.0, min_fullfeed_peers=9, min_collectors=3,
+        )
+        counts = params.scaled_counts(profile_for(utc_timestamp(2004, 1, 1)))
+        assert counts.fullfeed_peers == 9
+        assert counts.collectors == 3
+        assert counts.v4_ases >= 40
+
+    def test_presets_ordering(self):
+        profile = profile_for(utc_timestamp(2024, 1, 1))
+        tiny = TINY_WORLD.scaled_counts(profile)
+        small = SMALL_WORLD.scaled_counts(profile)
+        medium = MEDIUM_WORLD.scaled_counts(profile)
+        assert tiny.v4_prefixes < small.v4_prefixes < medium.v4_prefixes

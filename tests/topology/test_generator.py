@@ -1,0 +1,107 @@
+"""Tests for the synthetic topology generator."""
+
+from repro.topology.generator import GeneratorParams, generate_topology
+from repro.topology.model import Relationship, Tier
+
+
+def small_params(**overrides):
+    base = dict(n_tier1=5, n_transit=20, n_stub=80, seed=99)
+    base.update(overrides)
+    return GeneratorParams(**base)
+
+
+class TestStructure:
+    def test_population_counts(self):
+        graph = generate_topology(small_params())
+        tiers = [node.tier for node in graph.nodes.values()]
+        assert tiers.count(Tier.TIER1) == 5
+        assert tiers.count(Tier.TRANSIT) == 20
+        assert tiers.count(Tier.STUB) == 80
+
+    def test_tier1_full_clique(self):
+        graph = generate_topology(small_params())
+        tier1 = graph.tier1()
+        for left in tier1:
+            for right in tier1:
+                if left != right:
+                    assert graph.relationship(left, right) == Relationship.PEER
+
+    def test_tier1_transit_free(self):
+        graph = generate_topology(small_params())
+        for asn in graph.tier1():
+            assert graph.providers(asn) == []
+
+    def test_every_nontier1_has_a_provider(self):
+        graph = generate_topology(small_params())
+        for asn, node in graph.nodes.items():
+            if node.tier != Tier.TIER1:
+                assert graph.providers(asn), f"AS{asn} has no provider"
+
+    def test_no_provider_cycles(self):
+        graph = generate_topology(small_params())
+        assert not graph.has_provider_cycle()
+
+    def test_second_tier_exists(self):
+        graph = generate_topology(small_params(second_tier_share=0.5))
+        second_tier = [
+            asn
+            for asn, node in graph.nodes.items()
+            if node.tier == Tier.TRANSIT
+            and any(
+                graph.nodes[p].tier == Tier.TRANSIT for p in graph.providers(asn)
+            )
+        ]
+        assert second_tier, "expected some transits homed under transits"
+
+    def test_no_second_tier_when_disabled(self):
+        graph = generate_topology(small_params(second_tier_share=0.0))
+        for asn, node in graph.nodes.items():
+            if node.tier == Tier.TRANSIT:
+                assert all(
+                    graph.nodes[p].tier == Tier.TIER1 for p in graph.providers(asn)
+                )
+
+
+class TestKnobs:
+    def test_determinism(self):
+        first = generate_topology(small_params())
+        second = generate_topology(small_params())
+        assert sorted(first.edges()) == sorted(second.edges())
+        assert first.asns() == second.asns()
+
+    def test_seed_changes_topology(self):
+        first = generate_topology(small_params())
+        second = generate_topology(small_params(seed=100))
+        assert sorted(first.edges()) != sorted(second.edges())
+
+    def test_multihoming_mean_raises_provider_counts(self):
+        low = generate_topology(small_params(multihoming_mean=1.0))
+        high = generate_topology(small_params(multihoming_mean=2.5))
+
+        def mean_providers(graph):
+            stubs = graph.stubs()
+            return sum(len(graph.providers(s)) for s in stubs) / len(stubs)
+
+        assert mean_providers(high) > mean_providers(low)
+
+    def test_sibling_organisations_chain(self):
+        graph = generate_topology(
+            small_params(sibling_org_fraction=0.5, sibling_org_size=3)
+        )
+        orgs = {}
+        for asn, node in graph.nodes.items():
+            if node.tier == Tier.STUB:
+                orgs.setdefault(node.org_id, []).append(asn)
+        chains = [members for members in orgs.values() if len(members) >= 3]
+        assert chains, "expected sibling organisations"
+        # Within a chain, later siblings buy transit from earlier ones.
+        members = sorted(chains[0])
+        assert any(
+            graph.relationship(members[i + 1], members[i]) == Relationship.PROVIDER
+            for i in range(len(members) - 1)
+        )
+
+    def test_ipv6_fraction(self):
+        graph = generate_topology(small_params(ipv6_fraction=1.0))
+        stubs = graph.stubs()
+        assert all(graph.nodes[s].ipv6_capable for s in stubs)

@@ -1,0 +1,111 @@
+"""Tests for the AS graph model."""
+
+import pytest
+
+from repro.topology.model import ASGraph, ASNode, Relationship, Tier
+
+
+def simple_graph():
+    graph = ASGraph()
+    for asn, tier in ((1, Tier.TIER1), (10, Tier.TRANSIT), (100, Tier.STUB)):
+        graph.add_as(ASNode(asn, tier))
+    graph.add_provider_link(10, 1)
+    graph.add_provider_link(100, 10)
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_as_rejected(self):
+        graph = ASGraph()
+        graph.add_as(ASNode(1, Tier.TIER1))
+        with pytest.raises(ValueError):
+            graph.add_as(ASNode(1, Tier.STUB))
+
+    def test_provider_link_directions(self):
+        graph = simple_graph()
+        assert graph.relationship(100, 10) == Relationship.PROVIDER
+        assert graph.relationship(10, 100) == Relationship.CUSTOMER
+        assert graph.providers(100) == [10]
+        assert graph.customers(10) == [100]
+
+    def test_peer_link_symmetry(self):
+        graph = simple_graph()
+        graph.add_as(ASNode(11, Tier.TRANSIT))
+        graph.add_peer_link(10, 11)
+        assert graph.relationship(10, 11) == Relationship.PEER
+        assert graph.relationship(11, 10) == Relationship.PEER
+        assert graph.peers(10) == [11]
+
+    def test_self_links_rejected(self):
+        graph = simple_graph()
+        with pytest.raises(ValueError):
+            graph.add_provider_link(10, 10)
+        with pytest.raises(ValueError):
+            graph.add_peer_link(10, 10)
+
+    def test_conflicting_relationship_rejected(self):
+        graph = simple_graph()
+        with pytest.raises(ValueError):
+            graph.add_peer_link(100, 10)
+
+    def test_unknown_as_rejected(self):
+        graph = simple_graph()
+        with pytest.raises(KeyError):
+            graph.add_provider_link(100, 999)
+
+    def test_version_bumps_on_link_changes(self):
+        graph = simple_graph()
+        before = graph.version
+        graph.add_as(ASNode(11, Tier.TRANSIT))
+        graph.add_peer_link(10, 11)
+        assert graph.version > before
+
+
+class TestMutation:
+    def test_remove_link(self):
+        graph = simple_graph()
+        graph.remove_link(100, 10)
+        assert graph.relationship(100, 10) is None
+        with pytest.raises(KeyError):
+            graph.remove_link(100, 10)
+
+    def test_replace_provider(self):
+        graph = simple_graph()
+        graph.add_as(ASNode(11, Tier.TRANSIT))
+        graph.add_provider_link(11, 1)
+        graph.replace_provider(100, 10, 11)
+        assert graph.providers(100) == [11]
+
+
+class TestQueries:
+    def test_edges_report_each_link_once(self):
+        graph = simple_graph()
+        graph.add_as(ASNode(11, Tier.TRANSIT))
+        graph.add_peer_link(10, 11)
+        edges = list(graph.edges())
+        assert len(edges) == graph.link_count() == 3
+
+    def test_cycle_detection(self):
+        graph = simple_graph()
+        assert not graph.has_provider_cycle()
+        graph.add_as(ASNode(11, Tier.TRANSIT))
+        graph.add_provider_link(11, 10)
+        graph.add_provider_link(1, 11)  # 1 -> 11 -> 10 -> 1
+        assert graph.has_provider_cycle()
+
+    def test_tier_listings(self):
+        graph = simple_graph()
+        assert graph.tier1() == [1]
+        assert graph.stubs() == [100]
+
+    def test_siblings(self):
+        graph = ASGraph()
+        graph.add_as(ASNode(100, Tier.STUB, org_id=7))
+        graph.add_as(ASNode(101, Tier.STUB, org_id=7))
+        graph.add_as(ASNode(102, Tier.STUB, org_id=8))
+        assert graph.siblings_of(100) == {101}
+
+    def test_degree(self):
+        graph = simple_graph()
+        assert graph.degree(10) == 2
+        assert graph.degree(100) == 1

@@ -1,0 +1,113 @@
+"""Tests for policy units and transit policies."""
+
+import pytest
+
+from repro.bgp.attributes import Community
+from repro.net.prefix import Prefix
+from repro.topology.policies import OriginPolicy, PolicyUnit, TransitPolicy
+
+
+def prefixes(*texts):
+    return [Prefix.parse(t) for t in texts]
+
+
+class TestPolicyUnit:
+    def test_requires_prefixes(self):
+        with pytest.raises(ValueError):
+            PolicyUnit(0, [])
+
+    def test_rejects_mixed_families(self):
+        with pytest.raises(ValueError):
+            PolicyUnit(0, prefixes("10.0.0.0/24", "2001:db8::/32"))
+
+    def test_announces_to_default_all(self):
+        unit = PolicyUnit(0, prefixes("10.0.0.0/24"))
+        assert unit.announces_to(42)
+
+    def test_announces_to_subset(self):
+        unit = PolicyUnit(0, prefixes("10.0.0.0/24"), announce_to=frozenset([1]))
+        assert unit.announces_to(1)
+        assert not unit.announces_to(2)
+
+    def test_prepend_for(self):
+        unit = PolicyUnit(0, prefixes("10.0.0.0/24"), prepend={5: 2})
+        assert unit.prepend_for(5) == 2
+        assert unit.prepend_for(6) == 0
+
+    def test_config_key_ignores_prefixes(self):
+        a = PolicyUnit(0, prefixes("10.0.0.0/24"), tag=Community(1, 2))
+        b = PolicyUnit(1, prefixes("10.0.1.0/24"), tag=Community(1, 2))
+        assert a.config_key() == b.config_key()
+
+    def test_config_key_differs_on_tag(self):
+        a = PolicyUnit(0, prefixes("10.0.0.0/24"), tag=Community(1, 2))
+        b = PolicyUnit(1, prefixes("10.0.0.0/24"), tag=Community(1, 3))
+        assert a.config_key() != b.config_key()
+
+
+class TestOriginPolicy:
+    def test_new_unit_assigns_ids(self):
+        policy = OriginPolicy(100, 4)
+        first = policy.new_unit(prefixes("10.0.0.0/24"))
+        second = policy.new_unit(prefixes("10.0.1.0/24"))
+        assert first.unit_id != second.unit_id
+        assert len(policy) == 2
+
+    def test_version_tracks_changes(self):
+        policy = OriginPolicy(100, 4)
+        v0 = policy.version
+        unit = policy.new_unit(prefixes("10.0.0.0/24"))
+        assert policy.version > v0
+        v1 = policy.version
+        policy.touch()
+        assert policy.version > v1
+        policy.remove_unit(unit)
+        assert policy.version > v1 + 1
+
+    def test_family_mismatch_rejected(self):
+        policy = OriginPolicy(100, 4)
+        with pytest.raises(ValueError):
+            policy.new_unit(prefixes("2001:db8::/32"))
+
+    def test_prefix_accounting(self):
+        policy = OriginPolicy(100, 4)
+        policy.new_unit(prefixes("10.0.0.0/24", "10.0.1.0/24"))
+        policy.new_unit(prefixes("10.0.2.0/24"))
+        assert policy.prefix_count() == 3
+        assert len(policy.all_prefixes()) == 3
+
+    def test_find_unit_of(self):
+        policy = OriginPolicy(100, 4)
+        unit = policy.new_unit(prefixes("10.0.0.0/24"))
+        assert policy.find_unit_of(Prefix.parse("10.0.0.0/24")) is unit
+        assert policy.find_unit_of(Prefix.parse("10.9.0.0/24")) is None
+
+
+class TestTransitPolicy:
+    def test_blocks(self):
+        policy = TransitPolicy(20)
+        tag = Community(20, 1)
+        policy.block(tag, frozenset([1, 2]))
+        assert policy.blocks(tag, 1)
+        assert not policy.blocks(tag, 3)
+        assert not policy.blocks(Community(20, 2), 1)
+        assert not policy.blocks(None, 1)
+
+    def test_unblock(self):
+        policy = TransitPolicy(20)
+        tag = Community(20, 1)
+        policy.block(tag, frozenset([1]))
+        policy.unblock(tag)
+        assert not policy.blocks(tag, 1)
+
+    def test_version_tracks_rules(self):
+        policy = TransitPolicy(20)
+        v0 = policy.version
+        policy.block(Community(20, 1), frozenset([1]))
+        assert policy.version > v0
+
+    def test_truthiness(self):
+        policy = TransitPolicy(20)
+        assert not policy
+        policy.block(Community(20, 1), frozenset([1]))
+        assert policy

@@ -1,0 +1,163 @@
+"""Tests for the evolving world model."""
+
+import pytest
+
+from repro.net.prefix import AF_INET, AF_INET6
+from repro.topology.evolution import WorldParams, profile_for
+from repro.topology.world import World
+from repro.util.dates import HOUR, WEEK, utc_timestamp
+
+SMALL = WorldParams(
+    seed=77,
+    as_scale=1 / 400.0,
+    prefix_scale=1 / 400.0,
+    peer_scale=0.03,
+    collector_scale=0.3,
+    min_fullfeed_peers=6,
+    min_collectors=2,
+)
+
+
+@pytest.fixture(scope="module")
+def world_2010():
+    return World(SMALL, utc_timestamp(2010, 1, 15, 8))
+
+
+class TestConstruction:
+    def test_population_near_targets(self, world_2010):
+        counts = world_2010.counts
+        ases, prefixes = world_2010._family_stats(AF_INET)
+        assert abs(ases - counts.v4_ases) <= max(5, counts.v4_ases * 0.1)
+        assert abs(prefixes - counts.v4_prefixes) <= max(10, counts.v4_prefixes * 0.1)
+
+    def test_v6_population_when_profile_has_v6(self):
+        world = World(SMALL, utc_timestamp(2012, 1, 15, 8))
+        ases, prefixes = world._family_stats(AF_INET6)
+        assert ases >= 1 and prefixes >= ases
+
+    def test_peers_and_collectors(self, world_2010):
+        layout = world_2010.layout
+        assert len(layout.collectors) >= SMALL.min_collectors
+        full = layout.fullfeed_peers()
+        assert len(full) >= SMALL.min_fullfeed_peers
+        # Peer ASes are distinct (one session per AS in this model).
+        asns = [peer.asn for peer in layout.peers]
+        assert len(asns) == len(set(asns))
+
+    def test_units_partition_prefixes(self, world_2010):
+        for policy in world_2010.origins(AF_INET).values():
+            seen = set()
+            for unit in policy.units:
+                assert unit.prefixes, "no empty units"
+                for prefix in unit.prefixes:
+                    # MOAS prefixes may repeat across origins but not
+                    # within one origin.
+                    assert prefix not in seen
+                    seen.add(prefix)
+
+    def test_moas_share_below_five_percent(self, world_2010):
+        total = world_2010.total_prefixes(AF_INET)
+        assert 0 < len(world_2010.moas_prefixes) < 0.05 * total
+
+    def test_determinism(self):
+        first = World(SMALL, utc_timestamp(2010, 1, 15, 8))
+        second = World(SMALL, utc_timestamp(2010, 1, 15, 8))
+        assert sorted(first.graph.edges()) == sorted(second.graph.edges())
+        assert first.total_units(AF_INET) == second.total_units(AF_INET)
+        assert [p.peer_id for p in first.layout.peers] == [
+            p.peer_id for p in second.layout.peers
+        ]
+
+    def test_artifact_peers_configured(self):
+        world = World(SMALL, utc_timestamp(2021, 1, 15, 8))
+        flagged = [p for p in world.layout.peers if p.artifact]
+        assert flagged, "expected artifact peers in a post-2018 world"
+        kinds = {p.artifact for p in flagged}
+        assert "private_asn" in kinds or "addpath" in kinds
+
+    def test_artifacts_can_be_disabled(self):
+        params = WorldParams(**{**SMALL.__dict__, "inject_artifacts": False})
+        world = World(params, utc_timestamp(2021, 1, 15, 8))
+        assert not [p for p in world.layout.peers if p.artifact]
+
+
+class TestAdvance:
+    def test_time_only_moves_forward(self, world_2010):
+        with pytest.raises(ValueError):
+            world_2010.advance_to(world_2010.current_time - 1)
+
+    def test_advance_applies_churn(self):
+        world = World(SMALL, utc_timestamp(2010, 1, 15, 8))
+        versions = {
+            key: policy.version for key, policy in world.origin_policies.items()
+        }
+        world.advance_to(world.current_time + WEEK)
+        changed = sum(
+            1
+            for key, policy in world.origin_policies.items()
+            if versions.get(key) != policy.version
+        )
+        assert changed > 0
+
+    def test_intra_quarter_advance_keeps_population(self):
+        world = World(SMALL, utc_timestamp(2010, 1, 15, 8))
+        before = world._family_stats(AF_INET)
+        before_graph = world.graph.version
+        world.advance_to(world.current_time + 8 * HOUR)
+        assert world._family_stats(AF_INET)[0] == before[0]
+        # Policy churn must not rewire the graph within a quarter
+        # (except rare vantage-point provider changes).
+        assert world.graph.version - before_graph <= 4
+
+    def test_growth_across_years(self):
+        world = World(SMALL, utc_timestamp(2010, 1, 15, 8))
+        before_ases, before_prefixes = world._family_stats(AF_INET)
+        world.advance_to(utc_timestamp(2014, 1, 15, 8))
+        after_ases, after_prefixes = world._family_stats(AF_INET)
+        assert after_ases > before_ases
+        assert after_prefixes > before_prefixes
+
+    def test_fiti_event(self):
+        world = World(SMALL, utc_timestamp(2020, 10, 15, 8))
+        v6_before = world._family_stats(AF_INET6)[0]
+        world.advance_to(utc_timestamp(2021, 4, 15, 8))
+        v6_after = world._family_stats(AF_INET6)[0]
+        expected_burst = int(4096 * SMALL.as_scale)
+        assert v6_after - v6_before >= expected_burst // 2
+        assert world._fiti_done
+
+    def test_churn_can_be_frozen(self):
+        params = WorldParams(**{**SMALL.__dict__, "churn_multiplier": 0.0})
+        world = World(params, utc_timestamp(2010, 1, 15, 8))
+        versions = {
+            key: policy.version for key, policy in world.origin_policies.items()
+        }
+        world.advance_to(world.current_time + WEEK)
+        assert all(
+            versions.get(key) == policy.version
+            for key, policy in world.origin_policies.items()
+        )
+
+
+class TestMechanisms:
+    def test_mechanism_mix_tracks_targets(self):
+        world = World(SMALL, utc_timestamp(2020, 1, 15, 8))
+        counts = world._mech_counts.get(AF_INET, {})
+        total = sum(counts.values())
+        assert total > 0
+        targets = world._mechanism_targets()
+        for mech in ("selective", "tag3"):
+            share = counts.get(mech, 0) / total
+            assert abs(share - targets[mech]) < 0.25
+
+    def test_unit_size_cap_scales(self):
+        import math
+
+        world = World(SMALL, utc_timestamp(2010, 1, 15, 8))
+        cap = world._unit_size_cap(AF_INET)
+        profile = profile_for(world.current_time)
+        floor = math.ceil(3 * profile.mean_unit_size_v4)
+        assert cap == max(3, floor, round(profile.max_atom_v4 * SMALL.prefix_scale))
+        for policy in world.origins(AF_INET).values():
+            for unit in policy.units:
+                assert len(unit) <= max(cap, 3) * 4  # merge-free bound, lax

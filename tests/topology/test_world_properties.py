@@ -1,0 +1,102 @@
+"""Property-based invariants of generated worlds.
+
+Random seeds and start years must always yield structurally sound
+worlds: acyclic provider hierarchy, consistent policy units, transit
+rules that reference real neighbors, and collector layouts that match
+the configured artifacts.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.net.prefix import AF_INET, AF_INET6
+from repro.topology.evolution import WorldParams
+from repro.topology.model import Relationship
+from repro.topology.world import World
+from repro.util.dates import utc_timestamp
+
+
+def build_world(seed, year):
+    params = WorldParams(
+        seed=seed,
+        as_scale=1 / 500.0,
+        prefix_scale=1 / 500.0,
+        peer_scale=0.03,
+        collector_scale=0.25,
+        min_fullfeed_peers=5,
+        min_collectors=2,
+    )
+    return World(params, utc_timestamp(year, 1, 15, 8))
+
+
+world_inputs = st.tuples(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=2003, max_value=2024),
+)
+
+
+@given(world_inputs)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_world_structural_invariants(inputs):
+    seed, year = inputs
+    world = build_world(seed, year)
+
+    # Provider hierarchy stays acyclic (propagation termination).
+    assert not world.graph.has_provider_cycle()
+
+    # Policies are internally consistent.
+    for (family, asn), policy in world.origin_policies.items():
+        assert policy.asn == asn and policy.family == family
+        assert asn in world.graph
+        seen = set()
+        for unit in policy.units:
+            assert unit.prefixes, "no empty units"
+            for prefix in unit.prefixes:
+                assert prefix.family == family
+                assert prefix not in seen, "no duplicate prefix within origin"
+                seen.add(prefix)
+
+    # Transit rules are anchored at real ASes and block real ASes (links
+    # may churn after rule creation, so blocked ASes need not remain
+    # neighbors — stale entries are inert).
+    for asn, transit in world.transit_policies.items():
+        assert asn in world.graph
+        for blocked in transit.rules.values():
+            assert blocked
+            assert all(target in world.graph for target in blocked)
+
+    # Collector layout: distinct peer ASes, enough full feeders.
+    peer_asns = [peer.asn for peer in world.layout.peers]
+    assert len(peer_asns) == len(set(peer_asns))
+    assert len(world.layout.fullfeed_peers()) >= 5
+
+
+@given(world_inputs)
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_world_advance_preserves_invariants(inputs):
+    seed, year = inputs
+    world = build_world(seed, min(year, 2022))
+    world.advance_to(world.current_time + 400 * 24 * 3600)  # ~13 months
+
+    assert not world.graph.has_provider_cycle()
+    for (family, asn), policy in world.origin_policies.items():
+        for unit in policy.units:
+            assert unit.prefixes
+            assert all(prefix.family == family for prefix in unit.prefixes)
+    # Population never shrinks.
+    assert world.total_prefixes(AF_INET) > 0
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_same_seed_same_world(seed):
+    first = build_world(seed, 2012)
+    second = build_world(seed, 2012)
+    assert sorted(first.graph.edges()) == sorted(second.graph.edges())
+    assert first.total_units(AF_INET) == second.total_units(AF_INET)
+    assert first.total_units(AF_INET6) == second.total_units(AF_INET6)
+    assert [p.peer_id for p in first.layout.peers] == [
+        p.peer_id for p in second.layout.peers
+    ]

@@ -1,0 +1,66 @@
+"""Tests for UTC date helpers."""
+
+import pytest
+
+from repro.util.dates import (
+    DAY,
+    HOUR,
+    WEEK,
+    iter_quarters,
+    parse_utc,
+    quarter_start,
+    quarterly_snapshot_times,
+    utc_timestamp,
+    year_fraction,
+)
+
+
+class TestTimestamps:
+    def test_epoch(self):
+        assert utc_timestamp(1970, 1, 1) == 0
+
+    def test_known_instant(self):
+        # 2004-01-15 08:00 UTC
+        assert utc_timestamp(2004, 1, 15, 8) == 1074153600
+
+    def test_parse_variants(self):
+        assert parse_utc("2004-01-15") == utc_timestamp(2004, 1, 15)
+        assert parse_utc("2004-01-15 08:00") == utc_timestamp(2004, 1, 15, 8)
+        assert parse_utc("2004-01-15 08:00:30") == utc_timestamp(2004, 1, 15, 8, 0, 30)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_utc("yesterday")
+
+    def test_constants(self):
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+
+
+class TestYearFraction:
+    def test_start_of_year(self):
+        assert year_fraction(utc_timestamp(2010, 1, 1)) == pytest.approx(2010.0)
+
+    def test_midyear(self):
+        assert year_fraction(utc_timestamp(2010, 7, 2)) == pytest.approx(2010.5, abs=0.01)
+
+
+class TestQuarters:
+    def test_snapshot_cadence(self):
+        quarters = quarterly_snapshot_times(2004)
+        assert len(quarters) == 4
+        january = quarters[0]
+        assert january[0] == utc_timestamp(2004, 1, 15, 8)
+        assert january[1] == utc_timestamp(2004, 1, 15, 16)
+        assert january[2] == utc_timestamp(2004, 1, 16, 8)
+        assert january[3] == utc_timestamp(2004, 1, 22, 8)
+
+    def test_quarter_start(self):
+        assert quarter_start(utc_timestamp(2010, 2, 20)) == utc_timestamp(2010, 1, 1)
+        assert quarter_start(utc_timestamp(2010, 12, 31)) == utc_timestamp(2010, 10, 1)
+
+    def test_iter_quarters(self):
+        quarters = list(iter_quarters(2004, 2005))
+        assert len(quarters) == 8
+        assert quarters[0][:2] == (2004, 1)
+        assert quarters[-1][:2] == (2005, 10)
