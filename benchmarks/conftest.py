@@ -21,6 +21,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.ipv6 import IPv6Study
+from repro.engine.scheduler import ExecutionEngine
 from repro.analysis.longitudinal import LongitudinalStudy
 from repro.analysis.replication2002 import Replication2002
 from repro.analysis.vantage import VantageStudy
@@ -97,8 +98,12 @@ TREND_YEARS = list(range(2004, 2025, 2))
 
 @pytest.fixture(scope="session")
 def longitudinal_results():
+    # The sweep goes through the execution engine; REPRO_BENCH_JOBS
+    # controls the worker count (default 1 = the old serial walk, which
+    # produces value-identical results by construction).
+    engine = ExecutionEngine(jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")))
     simulator = SimulatedInternet(TREND_WORLD, start="2004-01-01")
-    study = LongitudinalStudy(simulator)
+    study = LongitudinalStudy(simulator, engine=engine)
     return study.run_years(TREND_YEARS, with_stability=True)
 
 

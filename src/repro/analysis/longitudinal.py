@@ -10,7 +10,7 @@ and collects the trend series behind Figures 4, 5, 12 and 13.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.atoms import AtomSet
 from repro.core.formation import FormationResult, formation_distances
@@ -24,6 +24,9 @@ from repro.net.prefix import AF_INET
 from repro.reporting.series import Series
 from repro.simulation.scenario import SimulatedInternet
 from repro.util.dates import utc_timestamp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.scheduler import ExecutionEngine
 
 #: (day, hour) of the four snapshots inside an analysed month.
 SNAPSHOT_OFFSETS = ((15, 8), (15, 16), (16, 8), (22, 8))
@@ -74,10 +77,15 @@ class SnapshotSuite:
 
 @dataclass
 class YearResult:
-    """One row of the longitudinal trend."""
+    """One row of the longitudinal trend.
 
-    year: int
-    suite: SnapshotSuite
+    ``suite`` holds the full in-memory computation on the legacy
+    serial path; engine-backed runs return the persistable summary
+    only, so ``suite`` is None there.
+    """
+
+    year: float
+    suite: Optional[SnapshotSuite]
     stats: GeneralStats
     formation_shares: Dict[int, float]
     formation_shares_no_single: Dict[int, float]
@@ -98,12 +106,49 @@ class LongitudinalStudy:
         simulator: SimulatedInternet,
         family: int = AF_INET,
         sanitization: Optional[SanitizationConfig] = None,
+        engine: Optional["ExecutionEngine"] = None,
     ):
         self.simulator = simulator
         self.family = family
         self.sanitization = sanitization
+        #: when set, run_years/run_quarters build a job graph and
+        #: submit it instead of computing inline
+        self.engine = engine
 
     # ------------------------------------------------------------------
+    # Engine submission
+    # ------------------------------------------------------------------
+
+    def _run_engine(
+        self,
+        quarters: Sequence[Tuple[int, int, float]],
+        with_stability: bool,
+        with_updates: bool,
+    ) -> List[YearResult]:
+        """Build the sweep's job graph and submit it to the engine.
+
+        Jobs are self-contained (world params + advance cadence), so
+        they require a pristine simulator: the cadence they replay
+        starts at the simulator's birth instant.
+        """
+        from repro.engine.jobs import build_jobs
+
+        assert self.engine is not None
+        if self.simulator.current_time != self.simulator.start:
+            raise ValueError(
+                "engine-backed runs need a freshly built simulator; "
+                "this one was already advanced past its start instant"
+            )
+        jobs = build_jobs(
+            self.simulator.params,
+            self.simulator.start,
+            quarters,
+            family=self.family,
+            sanitization=self.sanitization,
+            with_stability=with_stability,
+            with_updates=with_updates,
+        )
+        return [result_from_quarter(q) for q in self.engine.run(jobs)]
 
     def _compute(self, when: int) -> AtomComputation:
         records = self.simulator.rib_records(when, family=self.family)
@@ -143,6 +188,12 @@ class LongitudinalStudy:
         with_updates: bool = False,
     ) -> List[YearResult]:
         """One suite per year (the cadence behind Figures 4/5/12/13)."""
+        if self.engine is not None:
+            return self._run_engine(
+                [(year, month, float(year)) for year in years],
+                with_stability,
+                with_updates,
+            )
         results: List[YearResult] = []
         for year in years:
             suite = self.snapshot_suite(
@@ -163,6 +214,16 @@ class LongitudinalStudy:
         Results carry fractional years (2004.0, 2004.25, ...) so trend
         series plot directly.
         """
+        if self.engine is not None:
+            return self._run_engine(
+                [
+                    (year, month, year + index / 4.0)
+                    for year in range(first_year, last_year + 1)
+                    for index, month in enumerate((1, 4, 7, 10))
+                ],
+                with_stability,
+                with_updates,
+            )
         results: List[YearResult] = []
         for year in range(first_year, last_year + 1):
             for index, month in enumerate((1, 4, 7, 10)):
@@ -174,7 +235,7 @@ class LongitudinalStudy:
                 )
                 result = self._result_from_suite(year, suite, with_stability)
                 result = YearResult(
-                    year=year + index / 4.0,  # type: ignore[arg-type]
+                    year=year + index / 4.0,
                     suite=result.suite,
                     stats=result.stats,
                     formation_shares=result.formation_shares,
@@ -200,6 +261,20 @@ class LongitudinalStudy:
             stability=suite.stability() if with_stability else {},
             feed=suite.feed(),
         )
+
+
+def result_from_quarter(quarter) -> YearResult:
+    """Adapt an engine :class:`~repro.engine.jobs.QuarterResult` to the
+    trend-series row shape (``suite`` is not materialised)."""
+    return YearResult(
+        year=quarter.year,
+        suite=None,
+        stats=quarter.stats,
+        formation_shares=quarter.formation_shares,
+        formation_shares_no_single=quarter.formation_shares_no_single,
+        stability=quarter.stability,
+        feed=quarter.feed,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -24,6 +24,11 @@ from repro.analysis.longitudinal import LongitudinalStudy
 from repro.core.formation import formation_distances
 from repro.core.pipeline import compute_policy_atoms
 from repro.core.statistics import general_stats
+from repro.engine.cache import ResultCache
+from repro.engine.checkpoint import CheckpointLog
+from repro.engine.jobs import SnapshotJob
+from repro.engine.metrics import progress_hook
+from repro.engine.scheduler import ExecutionEngine
 from repro.net.prefix import AF_INET, AF_INET6
 from repro.reporting.tables import render_table
 from repro.simulation.scenario import SimulatedInternet
@@ -53,6 +58,44 @@ def _add_world_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--family", type=int, choices=(4, 6), default=4)
 
 
+def _positive_int(value: str) -> int:
+    """Argparse type for counts that must be at least 1."""
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return count
+
+
+def _add_engine_options(parser: argparse.ArgumentParser,
+                        with_checkpoint: bool = False) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--progress", action="store_true",
+                        help="narrate per-job progress and a metrics "
+                             "summary on stderr")
+    parser.add_argument("--cache-dir", type=Path, default=None, dest="cache_dir",
+                        help="content-addressed result cache directory "
+                             "(repeat runs skip recomputation)")
+    if with_checkpoint:
+        parser.add_argument("--checkpoint", type=Path, default=None,
+                            help="completion log; a killed sweep resumes "
+                                 "from the last finished quarter")
+
+
+def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
+    """An :class:`ExecutionEngine` configured from the CLI flags."""
+    return ExecutionEngine(
+        jobs=args.jobs,
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        checkpoint=(
+            CheckpointLog(args.checkpoint)
+            if getattr(args, "checkpoint", None)
+            else None
+        ),
+        hooks=(progress_hook(sys.stderr),) if args.progress else (),
+    )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Handle ``repro simulate``."""
     params = _world_params(args)
@@ -74,41 +117,80 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_atom_report(source: str, report: dict, stats_rows,
+                       formation_shares) -> None:
+    """Shared rendering of the ``repro atoms`` output."""
+    print(f"source: {source}")
+    print(f"vantage points: {report['fullfeed_peers']} full-feed "
+          f"({report['partial_peers']} partial excluded)")
+    if report["removed_peers"]:
+        removals = ", ".join(
+            f"AS{asn} ({reason})"
+            for asn, reason in sorted(report["removed_peers"].items())
+        )
+        print(f"abnormal peers removed: {removals}")
+    print(f"prefixes: {report['prefixes_kept']:,} kept / "
+          f"{report['prefixes_total']:,} seen")
+    print()
+    print(render_table(["metric", "value"], stats_rows,
+                       title="Policy atom statistics"))
+    if formation_shares is not None:
+        print()
+        print(render_table(
+            ["distance", "share of atoms"],
+            [(d, f"{s:.1%}") for d, s in sorted(formation_shares.items())],
+            title="Formation distance",
+        ))
+
+
 def cmd_atoms(args: argparse.Namespace) -> int:
     """Handle ``repro atoms``."""
     family = AF_INET if args.family == 4 else AF_INET6
     if args.archive:
+        # Archive-sourced snapshots stream straight through the
+        # pipeline; the engine only covers simulated worlds.
         stream = BGPStream(RecordArchive(args.archive), record_type="rib")
-        records = stream.records()
-        source = args.archive
-    else:
-        params = _world_params(args)
-        internet = SimulatedInternet(params, start=args.start)
-        records = internet.rib_records(args.start, family=family)
-        source = f"simulation @ {args.start}"
-    result = compute_policy_atoms(records)
-
-    report = result.report
-    print(f"source: {source}")
-    print(f"vantage points: {report.fullfeed_peers} full-feed "
-          f"({report.partial_peers} partial excluded)")
-    if report.removed_peers:
-        removals = ", ".join(
-            f"AS{asn} ({reason})" for asn, reason in sorted(report.removed_peers.items())
+        result = compute_policy_atoms(stream.records())
+        report = result.report
+        shares = (
+            formation_distances(result.atoms).distance_shares()
+            if args.formation
+            else None
         )
-        print(f"abnormal peers removed: {removals}")
-    print(f"prefixes: {report.prefixes_kept:,} kept / {report.prefixes_total:,} seen")
-    print()
-    print(render_table(["metric", "value"], general_stats(result.atoms).rows(),
-                       title="Policy atom statistics"))
-    if args.formation:
-        shares = formation_distances(result.atoms).distance_shares()
-        print()
-        print(render_table(
-            ["distance", "share of atoms"],
-            [(d, f"{s:.1%}") for d, s in shares.items()],
-            title="Formation distance",
-        ))
+        _print_atom_report(
+            str(args.archive),
+            {
+                "fullfeed_peers": report.fullfeed_peers,
+                "partial_peers": report.partial_peers,
+                "removed_peers": report.removed_peers,
+                "prefixes_kept": report.prefixes_kept,
+                "prefixes_total": report.prefixes_total,
+            },
+            general_stats(result.atoms).rows(),
+            shares,
+        )
+        return 0
+
+    params = _world_params(args)
+    stamp = parse_utc(args.start)
+    engine = _build_engine(args)
+    job = SnapshotJob(
+        params=params,
+        start=stamp,
+        warmup=(),
+        times=(stamp,),
+        family=family,
+        label=f"atoms@{args.start}",
+    )
+    quarter = engine.run([job])[0]
+    _print_atom_report(
+        f"simulation @ {args.start}",
+        quarter.report,
+        quarter.stats.rows(),
+        quarter.formation_shares if args.formation else None,
+    )
+    if args.progress:
+        print(engine.metrics.render(), file=sys.stderr)
     return 0
 
 
@@ -118,13 +200,15 @@ def cmd_trend(args: argparse.Namespace) -> int:
     family = AF_INET if args.family == 4 else AF_INET6
     years = list(range(args.first_year, args.last_year + 1, args.step))
     internet = SimulatedInternet(params, start=f"{years[0]}-01-01")
-    study = LongitudinalStudy(internet, family=family)
+    engine = _build_engine(args)
+    study = LongitudinalStudy(internet, family=family, engine=engine)
     results = study.run_years(years, with_stability=not args.no_stability)
     rows = []
     for result in results:
         stats = result.stats
+        year = int(result.year) if float(result.year).is_integer() else result.year
         row: List[object] = [
-            result.year,
+            year,
             f"{stats.n_prefixes:,}",
             f"{stats.n_atoms:,}",
             f"{stats.mean_atom_size:.2f}",
@@ -138,6 +222,8 @@ def cmd_trend(args: argparse.Namespace) -> int:
     if results and results[0].stability:
         headers.append("CAM 8h")
     print(render_table(headers, rows, title="Longitudinal atom trend"))
+    if args.progress:
+        print(engine.metrics.render(), file=sys.stderr)
     return 0
 
 
@@ -163,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
         "atoms", help="compute policy atoms and print statistics"
     )
     _add_world_options(atoms)
+    _add_engine_options(atoms)
     atoms.add_argument("--archive", type=Path, default=None,
                        help="read records from this archive instead of simulating")
     atoms.add_argument("--start", default="2024-10-15 08:00")
@@ -174,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trend", help="run a quick longitudinal sweep"
     )
     _add_world_options(trend)
+    _add_engine_options(trend, with_checkpoint=True)
     trend.add_argument("--first-year", type=int, default=2004, dest="first_year")
     trend.add_argument("--last-year", type=int, default=2024, dest="last_year")
     trend.add_argument("--step", type=int, default=4)

@@ -1,0 +1,104 @@
+"""Content-addressed result cache.
+
+Every :class:`~repro.engine.jobs.SnapshotJob` has a stable digest over
+its full content — world params, birth instant, warmup cadence,
+snapshot instants, family, sanitization config and the analysis flags —
+salted with a code-version string.  Two jobs with the same digest are
+guaranteed to compute the same :class:`QuarterResult` (the simulator is
+deterministic in exactly those inputs), so repeated sweeps can skip
+recomputation entirely.
+
+Entries are one JSON file each under ``<root>/<aa>/<digest>.json``,
+written atomically (temp file + ``os.replace``).  A corrupted or
+version-skewed entry is treated as a miss, deleted, and recomputed —
+never crashed on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.engine.jobs import (
+    QuarterResult,
+    SnapshotJob,
+    result_from_payload,
+    result_to_payload,
+)
+
+#: Bump whenever atom computation, sanitization, or the simulator
+#: change semantics: old cache entries silently become unreachable.
+CACHE_SALT = "repro-engine-v1"
+
+
+def _canonical(value):
+    """Normalize nested containers so json.dumps is digest-stable."""
+    if isinstance(value, dict):
+        return sorted((str(k), _canonical(v)) for k, v in value.items())
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def job_digest(job: SnapshotJob, salt: str = CACHE_SALT) -> str:
+    """Stable hex digest identifying a job's full computation content."""
+    payload = {"salt": salt, "spec": _canonical(job.spec())}
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Persist job results on disk, keyed by :func:`job_digest`."""
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[QuarterResult]:
+        """The cached result, or None on miss *or* corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("key") != key:
+                raise ValueError("cache entry key mismatch")
+            return result_from_payload(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Truncated write, stale format, bit rot: discard and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, result: QuarterResult) -> Path:
+        """Atomically persist one result."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "result": result_to_payload(result)}
+        tmp = path.parent / f"{path.name}.tmp{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,73 @@
+"""Checkpoint/resume for long sweeps.
+
+A :class:`CheckpointLog` is an append-only JSONL file: one line per
+completed job, ``{"key": <digest>, "label": ..., "result": {...}}``.
+The scheduler appends (and flushes) a line the moment a job finishes,
+so a killed multi-year sweep loses at most the jobs in flight.  On the
+next run the engine loads the log, restores every completed quarter
+without recomputation, and continues from the first missing one.
+
+A truncated final line — the signature of a hard kill mid-write — is
+silently dropped on load; everything before it is preserved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict
+
+from repro.engine.jobs import (
+    QuarterResult,
+    result_from_payload,
+    result_to_payload,
+)
+
+
+class CheckpointLog:
+    """Append-only completion log keyed by job digest."""
+
+    def __init__(self, path: os.PathLike):
+        self.path = Path(path)
+
+    def load(self) -> Dict[str, QuarterResult]:
+        """{job digest: result} for every intact line of the log."""
+        restored: Dict[str, QuarterResult] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        restored[entry["key"]] = result_from_payload(
+                            entry["result"]
+                        )
+                    except (ValueError, KeyError, TypeError):
+                        # Torn write at the kill instant; keep the rest.
+                        continue
+        except FileNotFoundError:
+            pass
+        return restored
+
+    def record(self, key: str, result: QuarterResult) -> None:
+        """Append one completed job, durably."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": key,
+            "label": result.label,
+            "result": result_to_payload(result),
+        }
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def clear(self) -> None:
+        """Forget all completed jobs (e.g. after a finished sweep)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,204 @@
+"""The execution engine: fan snapshot jobs out, deterministically.
+
+:class:`ExecutionEngine` is the single entry point the CLI, the
+longitudinal study and the benchmarks submit work to.  ``run`` takes an
+ordered sequence of :class:`SnapshotJob` and returns their
+:class:`QuarterResult` in exactly that order, regardless of worker
+count:
+
+* ``jobs=1`` (the default) executes inline in the current process —
+  consecutive jobs share the worker-side world cache, so a serial
+  sweep keeps the chronological-walk economy of the old code path;
+* ``jobs=N`` fans the uncached jobs out over a
+  ``ProcessPoolExecutor``; each worker process keeps its own world
+  lineage cache, and because jobs are submitted in chronological order
+  every worker advances its world monotonically instead of replaying
+  from scratch per job.
+
+Results are identical between the two modes because world evolution is
+deterministic in (seed, advance cadence) and record rendering never
+mutates the world — each job carries its full cadence, so any process
+can reproduce the exact world state the serial walk would have had.
+
+Layered on top: the content-addressed :class:`ResultCache` (skip
+recomputation across runs), the :class:`CheckpointLog` (resume a killed
+sweep), and instrumentation hooks (:mod:`repro.engine.metrics`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.cache import ResultCache, job_digest
+from repro.engine.checkpoint import CheckpointLog
+from repro.engine.jobs import QuarterResult, SnapshotJob, execute_snapshot_job
+from repro.engine.metrics import (
+    SOURCE_CACHE,
+    SOURCE_CHECKPOINT,
+    SOURCE_COMPUTED,
+    EngineMetrics,
+    Hook,
+)
+
+
+def _timed_execute(job: SnapshotJob) -> Dict[str, object]:
+    """Pool entry point: execute and wrap with instrumentation."""
+    started = time.perf_counter()
+    result = execute_snapshot_job(job)
+    return {
+        "result": result,
+        "seconds": time.perf_counter() - started,
+        "worker": os.getpid(),
+    }
+
+
+class ExecutionEngine:
+    """Parallel, cached, resumable executor for snapshot jobs."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        checkpoint: Optional[CheckpointLog] = None,
+        hooks: Sequence[Hook] = (),
+        metrics: Optional[EngineMetrics] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.checkpoint = checkpoint
+        self.metrics = metrics if metrics is not None else EngineMetrics()
+        self._hooks: List[Hook] = [self.metrics, *hooks]
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, event: str, payload: Dict[str, object]) -> None:
+        for hook in self._hooks:
+            hook(event, payload)
+
+    def _finish(
+        self,
+        index: int,
+        job: SnapshotJob,
+        key: str,
+        result: QuarterResult,
+        source: str,
+        seconds: float = 0.0,
+        worker: Optional[int] = None,
+    ) -> None:
+        if source == SOURCE_COMPUTED:
+            if self.cache is not None:
+                self.cache.put(key, result)
+            if self.checkpoint is not None:
+                self.checkpoint.record(key, result)
+        elif source == SOURCE_CACHE and self.checkpoint is not None:
+            # Mirror cache hits into the checkpoint so a resume works
+            # even if the cache is cleared between runs.
+            self.checkpoint.record(key, result)
+        self._emit(
+            "job_done",
+            {
+                "index": index,
+                "label": job.label,
+                "key": key,
+                "source": source,
+                "seconds": seconds,
+                "records": result.record_count,
+                "worker": worker,
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(self, snapshot_jobs: Sequence[SnapshotJob]) -> List[QuarterResult]:
+        """Execute all jobs; results come back in submission order."""
+        snapshot_jobs = list(snapshot_jobs)
+        keys = [job_digest(job) for job in snapshot_jobs]
+        started = time.perf_counter()
+        self._emit(
+            "sweep_start",
+            {"jobs": len(snapshot_jobs), "workers": self.jobs},
+        )
+
+        results: List[Optional[QuarterResult]] = [None] * len(snapshot_jobs)
+        restored = self.checkpoint.load() if self.checkpoint is not None else {}
+
+        pending: List[int] = []
+        for index, (job, key) in enumerate(zip(snapshot_jobs, keys)):
+            if key in restored:
+                results[index] = restored[key]
+                self._finish(index, job, key, restored[key], SOURCE_CHECKPOINT)
+                continue
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[index] = hit
+                    self._finish(index, job, key, hit, SOURCE_CACHE)
+                    continue
+            pending.append(index)
+
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(snapshot_jobs, keys, results, pending)
+            else:
+                self._run_parallel(snapshot_jobs, keys, results, pending)
+
+        self._emit("sweep_done", {"seconds": time.perf_counter() - started})
+        return [result for result in results if result is not None]
+
+    def _run_serial(self, jobs, keys, results, pending) -> None:
+        for index in pending:
+            self._emit(
+                "job_start",
+                {"index": index, "label": jobs[index].label, "key": keys[index]},
+            )
+            job_started = time.perf_counter()
+            result = execute_snapshot_job(jobs[index])
+            results[index] = result
+            self._finish(
+                index,
+                jobs[index],
+                keys[index],
+                result,
+                SOURCE_COMPUTED,
+                seconds=time.perf_counter() - job_started,
+                worker=os.getpid(),
+            )
+
+    def _run_parallel(self, jobs, keys, results, pending) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Chronological submission order matters: it lets each
+            # worker's cached world advance monotonically through the
+            # sweep instead of rebuilding per job.
+            futures = {}
+            for index in pending:
+                self._emit(
+                    "job_start",
+                    {
+                        "index": index,
+                        "label": jobs[index].label,
+                        "key": keys[index],
+                    },
+                )
+                futures[pool.submit(_timed_execute, jobs[index])] = index
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    payload = future.result()
+                    results[index] = payload["result"]
+                    self._finish(
+                        index,
+                        jobs[index],
+                        keys[index],
+                        payload["result"],
+                        SOURCE_COMPUTED,
+                        seconds=payload["seconds"],
+                        worker=payload["worker"],
+                    )

@@ -37,7 +37,10 @@ class SimulatedInternet:
     def __init__(self, params: Optional[WorldParams] = None,
                  start: TimeLike = "2004-01-01"):
         self.params = params or WorldParams()
-        self.world = World(self.params, _as_timestamp(start))
+        #: birth instant — with ``params`` it fully determines the world,
+        #: which is what lets engine jobs rebuild it in worker processes
+        self.start = _as_timestamp(start)
+        self.world = World(self.params, self.start)
         self.engine = PropagationEngine(self.world.graph, self.world.transit_policies)
 
     # ------------------------------------------------------------------

@@ -59,10 +59,22 @@ class RecordArchive:
             stamp = dump_timestamp if dump_timestamp is not None else group[0].timestamp
             path = self._dump_path(project, collector, record_type, stamp)
             path.parent.mkdir(parents=True, exist_ok=True)
-            with gzip.open(path, "wt", encoding="utf-8") as handle:
-                for record in group:
-                    handle.write(record_to_json(record))
-                    handle.write("\n")
+            # Write via a temp file + atomic rename: an interrupted run
+            # must never leave a truncated dump that a later read (or an
+            # engine cache build) would silently ingest.
+            tmp = path.parent / f"{path.name}.tmp{os.getpid()}"
+            try:
+                with gzip.open(tmp, "wt", encoding="utf-8") as handle:
+                    for record in group:
+                        handle.write(record_to_json(record))
+                        handle.write("\n")
+                os.replace(tmp, path)
+            finally:
+                if tmp.exists():
+                    try:
+                        tmp.unlink()
+                    except OSError:  # pragma: no cover - best effort
+                        pass
             written.append(path)
         return written
 

@@ -1,0 +1,24 @@
+"""Shared fixtures for the execution-engine tests."""
+
+import pytest
+
+from repro.engine.jobs import clear_worker_state
+from repro.topology.evolution import WorldParams
+
+#: Small world: fast enough for multi-sweep tests, structurally complete.
+ENGINE_WORLD = WorldParams(
+    seed=31,
+    as_scale=1 / 400.0,
+    prefix_scale=1 / 400.0,
+    peer_scale=0.03,
+    collector_scale=0.3,
+    min_fullfeed_peers=6,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_worker_state():
+    """Each test starts without a cached in-process world lineage."""
+    clear_worker_state()
+    yield
+    clear_worker_state()

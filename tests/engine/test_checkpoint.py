@@ -1,0 +1,129 @@
+"""Checkpoint/resume: a killed sweep restarts from the last quarter."""
+
+import json
+
+from repro.engine.checkpoint import CheckpointLog
+from repro.engine.jobs import build_jobs, clear_worker_state
+from repro.engine.metrics import EngineMetrics
+from repro.engine.scheduler import ExecutionEngine
+from repro.util.dates import utc_timestamp
+
+from tests.engine.conftest import ENGINE_WORLD
+
+QUARTERS = [
+    (2004, 1, 2004.0),
+    (2004, 4, 2004.25),
+    (2004, 7, 2004.5),
+    (2004, 10, 2004.75),
+]
+
+
+def sweep_jobs():
+    return build_jobs(
+        ENGINE_WORLD,
+        utc_timestamp(2004, 1, 1),
+        QUARTERS,
+        with_stability=False,
+    )
+
+
+def test_full_restore_from_checkpoint(tmp_path):
+    jobs = sweep_jobs()
+    log = CheckpointLog(tmp_path / "sweep.jsonl")
+    baseline = ExecutionEngine(jobs=1, checkpoint=log).run(jobs)
+
+    clear_worker_state()
+    metrics = EngineMetrics()
+    resumed = ExecutionEngine(jobs=1, checkpoint=log, metrics=metrics).run(jobs)
+    summary = metrics.summary()
+    assert summary["checkpoint_hits"] == len(jobs)
+    assert summary["computed"] == 0
+    for a, b in zip(baseline, resumed):
+        assert a.stats == b.stats
+        assert a.formation_shares == b.formation_shares
+        assert a.feed == b.feed
+
+
+def test_partial_resume_continues_from_last_quarter(tmp_path):
+    """Simulate a kill after two quarters: the rerun computes only the
+    remaining two, and the merged results equal an uninterrupted run."""
+    jobs = sweep_jobs()
+    log = CheckpointLog(tmp_path / "sweep.jsonl")
+
+    ExecutionEngine(jobs=1, checkpoint=log).run(jobs[:2])  # "killed" here
+
+    clear_worker_state()
+    metrics = EngineMetrics()
+    resumed = ExecutionEngine(jobs=1, checkpoint=log, metrics=metrics).run(jobs)
+    summary = metrics.summary()
+    assert summary["checkpoint_hits"] == 2
+    assert summary["computed"] == 2
+
+    clear_worker_state()
+    uninterrupted = ExecutionEngine(jobs=1).run(jobs)
+    assert [r.label for r in resumed] == [r.label for r in uninterrupted]
+    for a, b in zip(resumed, uninterrupted):
+        assert a.stats == b.stats
+        assert a.formation_shares == b.formation_shares
+        assert a.feed == b.feed
+
+
+def test_truncated_final_line_dropped(tmp_path):
+    """A torn write at the kill instant loses only that one line."""
+    jobs = sweep_jobs()[:2]
+    log = CheckpointLog(tmp_path / "sweep.jsonl")
+    ExecutionEngine(jobs=1, checkpoint=log).run(jobs)
+
+    with open(log.path, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "deadbeef", "result": {"label"')  # torn
+
+    restored = log.load()
+    assert len(restored) == 2
+    assert "deadbeef" not in restored
+
+
+def test_unparseable_middle_line_skipped(tmp_path):
+    jobs = sweep_jobs()[:2]
+    log = CheckpointLog(tmp_path / "sweep.jsonl")
+    ExecutionEngine(jobs=1, checkpoint=log).run([jobs[0]])
+    with open(log.path, "a", encoding="utf-8") as handle:
+        handle.write("not json at all\n")
+    clear_worker_state()
+    ExecutionEngine(jobs=1, checkpoint=log).run(jobs)
+    assert len(log.load()) == 2
+
+
+def test_cache_hits_mirrored_into_checkpoint(tmp_path):
+    """A cache hit still lands in the log, so resume survives a cache
+    wipe between runs."""
+    from repro.engine.cache import ResultCache
+
+    jobs = sweep_jobs()[:2]
+    cache = ResultCache(tmp_path / "cache")
+    ExecutionEngine(jobs=1, cache=cache).run(jobs)
+
+    clear_worker_state()
+    log = CheckpointLog(tmp_path / "sweep.jsonl")
+    ExecutionEngine(jobs=1, cache=cache, checkpoint=log).run(jobs)
+    assert len(log.load()) == 2
+
+
+def test_clear_removes_log(tmp_path):
+    log = CheckpointLog(tmp_path / "sweep.jsonl")
+    ExecutionEngine(jobs=1, checkpoint=log).run(sweep_jobs()[:1])
+    assert log.path.exists()
+    log.clear()
+    assert not log.path.exists()
+    assert log.load() == {}
+    log.clear()  # idempotent
+
+
+def test_log_lines_carry_labels(tmp_path):
+    """Each line names its quarter — the log doubles as a progress file."""
+    log = CheckpointLog(tmp_path / "sweep.jsonl")
+    ExecutionEngine(jobs=1, checkpoint=log).run(sweep_jobs()[:2])
+    labels = [
+        json.loads(line)["label"]
+        for line in log.path.read_text(encoding="utf-8").splitlines()
+    ]
+    assert labels == ["2004-01", "2004-04"]

@@ -1,0 +1,169 @@
+"""Scheduler behavior: parallel determinism, ordering, metrics, hooks.
+
+Includes the headline acceptance check: a 2004-2012 trend sweep with
+``jobs=4`` is value-identical to the serial run, and a second
+invocation of the same sweep is answered almost entirely from cache.
+"""
+
+import pytest
+
+from repro.analysis.longitudinal import (
+    LongitudinalStudy,
+    formation_trend_series,
+    fullfeed_trend_series,
+    stability_trend_series,
+)
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import build_jobs, clear_worker_state
+from repro.engine.metrics import EngineMetrics, progress_hook
+from repro.engine.scheduler import ExecutionEngine
+from repro.simulation.scenario import SimulatedInternet
+from repro.util.dates import utc_timestamp
+
+from tests.engine.conftest import ENGINE_WORLD
+
+SWEEP_YEARS = list(range(2004, 2013))
+
+
+def run_sweep(jobs: int, cache=None, metrics=None, with_stability=True):
+    """One 2004-2012 yearly trend sweep through the engine."""
+    clear_worker_state()
+    engine = ExecutionEngine(jobs=jobs, cache=cache, metrics=metrics)
+    study = LongitudinalStudy(
+        SimulatedInternet(ENGINE_WORLD, start="2004-01-01"), engine=engine
+    )
+    return study.run_years(SWEEP_YEARS, with_stability=with_stability)
+
+
+def all_series(results):
+    """Every trend Series the paper's figures draw from these results."""
+    series = list(formation_trend_series(results))
+    series.extend(stability_trend_series(results))
+    series.extend(fullfeed_trend_series(results))
+    return series
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return run_sweep(jobs=1)
+
+
+class TestParallelDeterminism:
+    def test_jobs4_series_identical_to_serial(self, serial_results):
+        """Acceptance: --jobs 4 Series values exactly equal serial."""
+        parallel = run_sweep(jobs=4)
+        for line_s, line_p in zip(all_series(serial_results), all_series(parallel)):
+            assert line_s.name == line_p.name
+            assert line_s.points == line_p.points  # exact, not approx
+
+    def test_result_rows_identical(self, serial_results):
+        parallel = run_sweep(jobs=2)
+        assert len(parallel) == len(serial_results)
+        for a, b in zip(serial_results, parallel):
+            assert a.year == b.year
+            assert a.stats == b.stats
+            assert a.formation_shares == b.formation_shares
+            assert a.formation_shares_no_single == b.formation_shares_no_single
+            assert a.stability == b.stability
+            assert a.feed == b.feed
+
+
+class TestCachedSweep:
+    def test_second_invocation_hits_cache(self, tmp_path, serial_results):
+        """Acceptance: repeat sweep completes with >= 90% cache hits,
+        verified through the metrics hook, with identical values."""
+        cache = ResultCache(tmp_path)
+        first = run_sweep(jobs=1, cache=cache)
+        metrics = EngineMetrics()
+        second = run_sweep(jobs=1, cache=cache, metrics=metrics)
+
+        summary = metrics.summary()
+        assert summary["hit_rate"] >= 0.9
+        assert summary["cache_hits"] == len(SWEEP_YEARS)
+        assert summary["computed"] == 0
+        for line_a, line_b in zip(all_series(first), all_series(second)):
+            assert line_a.points == line_b.points
+        # The cached sweep must also equal the never-cached baseline.
+        for line_a, line_b in zip(all_series(serial_results), all_series(second)):
+            assert line_a.points == line_b.points
+
+    def test_parallel_reads_and_fills_same_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(jobs=2, cache=cache, with_stability=False)
+        metrics = EngineMetrics()
+        run_sweep(jobs=2, cache=cache, metrics=metrics, with_stability=False)
+        assert metrics.summary()["hit_rate"] == 1.0
+
+
+class TestOrderingAndEvents:
+    def test_results_in_submission_order(self):
+        jobs = build_jobs(
+            ENGINE_WORLD,
+            utc_timestamp(2004, 1, 1),
+            [(2004, 1, 2004.0), (2004, 4, 2004.25), (2004, 7, 2004.5)],
+            with_stability=False,
+        )
+        clear_worker_state()
+        results = ExecutionEngine(jobs=2).run(jobs)
+        assert [r.label for r in results] == ["2004-01", "2004-04", "2004-07"]
+        assert [r.year for r in results] == [2004.0, 2004.25, 2004.5]
+
+    def test_event_stream_shape(self):
+        events = []
+        jobs = build_jobs(
+            ENGINE_WORLD,
+            utc_timestamp(2004, 1, 1),
+            [(2004, 1, 2004.0), (2004, 4, 2004.25)],
+            with_stability=False,
+        )
+        clear_worker_state()
+        engine = ExecutionEngine(jobs=1, hooks=(lambda e, p: events.append((e, p)),))
+        engine.run(jobs)
+        names = [name for name, _ in events]
+        assert names[0] == "sweep_start" and names[-1] == "sweep_done"
+        assert names.count("job_start") == 2 and names.count("job_done") == 2
+        done = [p for name, p in events if name == "job_done"]
+        assert all(p["source"] == "computed" for p in done)
+        assert all(p["records"] > 0 for p in done)
+        assert all(p["seconds"] > 0 for p in done)
+
+    def test_progress_hook_narrates(self, capsys):
+        import sys
+
+        jobs = build_jobs(
+            ENGINE_WORLD,
+            utc_timestamp(2004, 1, 1),
+            [(2004, 1, 2004.0)],
+            with_stability=False,
+        )
+        clear_worker_state()
+        ExecutionEngine(jobs=1, hooks=(progress_hook(sys.stderr),)).run(jobs)
+        err = capsys.readouterr().err
+        assert "[engine] 1 job(s) on 1 worker(s)" in err
+        assert "2004-01: computed" in err
+        assert "sweep done" in err
+
+
+class TestMetricsSummary:
+    def test_summary_fields(self):
+        metrics = EngineMetrics()
+        jobs = build_jobs(
+            ENGINE_WORLD,
+            utc_timestamp(2004, 1, 1),
+            [(2004, 1, 2004.0), (2004, 4, 2004.25)],
+            with_stability=False,
+        )
+        clear_worker_state()
+        ExecutionEngine(jobs=1, metrics=metrics).run(jobs)
+        summary = metrics.summary()
+        assert summary["jobs"] == 2
+        assert summary["computed"] == 2
+        assert summary["records"] > 0
+        assert summary["busy_seconds"] > 0
+        assert summary["wall_seconds"] > 0
+        assert 0 < summary["worker_utilization"] <= 1
+        assert "worker(s)" in metrics.render()
+
+    def test_engine_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(jobs=0)

@@ -72,6 +72,59 @@ class TestArchive:
         assert len(list(archive.records(record_type="update"))) == 1
 
 
+class TestCrashSafety:
+    def test_failed_write_leaves_no_partial_dump(self, tmp_path, monkeypatch):
+        """A serializer crash mid-dump must not leave a truncated file
+        that a later read would silently ingest."""
+        import repro.stream.archive as archive_module
+
+        archive = RecordArchive(tmp_path)
+        calls = {"n": 0}
+        real = archive_module.record_to_json
+
+        def exploding(record):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("disk full")
+            return real(record)
+
+        monkeypatch.setattr(archive_module, "record_to_json", exploding)
+        with pytest.raises(RuntimeError):
+            archive.write_dump([make_record(peer_asn=1), make_record(peer_asn=2)])
+
+        assert list(tmp_path.rglob("*.jsonl.gz")) == []  # no truncated dump
+        assert list(tmp_path.rglob("*.tmp*")) == []  # no leftover temp file
+        assert list(archive.records()) == []
+
+    def test_failed_write_preserves_earlier_dumps(self, tmp_path, monkeypatch):
+        import repro.stream.archive as archive_module
+
+        archive = RecordArchive(tmp_path)
+        archive.write_dump([make_record(timestamp=100)], dump_timestamp=100)
+
+        monkeypatch.setattr(
+            archive_module,
+            "record_to_json",
+            lambda record: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        with pytest.raises(RuntimeError):
+            archive.write_dump([make_record(timestamp=200)], dump_timestamp=200)
+
+        survivors = list(archive.records())
+        assert len(survivors) == 1 and survivors[0].timestamp == 100
+
+    def test_rewrite_is_atomic_replace(self, tmp_path):
+        """Re-dumping the same instant swaps the file in one step."""
+        archive = RecordArchive(tmp_path)
+        archive.write_dump([make_record(peer_asn=1)], dump_timestamp=100)
+        archive.write_dump(
+            [make_record(peer_asn=1), make_record(peer_asn=2)], dump_timestamp=100
+        )
+        records = list(archive.records())
+        assert {r.peer_asn for r in records} == {1, 2}
+        assert list(tmp_path.rglob("*.tmp*")) == []
+
+
 class TestIntegrationWithSimulator:
     def test_snapshot_archive_roundtrip(self, tmp_path, records_2004):
         archive = RecordArchive(tmp_path)

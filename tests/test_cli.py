@@ -69,3 +69,55 @@ class TestCommands:
         )
         assert code == 0
         assert "Policy atom statistics" in capsys.readouterr().out
+
+
+class TestEngineFlags:
+    TREND = ["trend", "--first-year", "2006", "--last-year", "2007",
+             "--step", "1", "--no-stability"] + COMMON
+
+    def test_parser_accepts_engine_flags(self):
+        args = build_parser().parse_args(
+            self.TREND + ["--jobs", "4", "--progress", "--cache-dir", "/tmp/c",
+                          "--checkpoint", "/tmp/ck.jsonl"]
+        )
+        assert args.jobs == 4 and args.progress
+        assert str(args.cache_dir) == "/tmp/c"
+        assert str(args.checkpoint) == "/tmp/ck.jsonl"
+
+    def test_jobs_default_is_serial(self):
+        args = build_parser().parse_args(self.TREND)
+        assert args.jobs == 1 and not args.progress
+        assert args.cache_dir is None and args.checkpoint is None
+
+    def test_trend_parallel_matches_serial_output(self, capsys):
+        assert main(self.TREND) == 0
+        serial = capsys.readouterr().out
+        assert main(self.TREND + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_trend_with_cache_and_progress(self, tmp_path, capsys):
+        argv = self.TREND + ["--cache-dir", str(tmp_path), "--progress"]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "2 computed" in first.err and "0 cache hits" in first.err
+
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out  # cached rerun prints the same table
+        assert "2 cache hits" in second.err
+        assert "100% reuse" in second.err
+
+    def test_atoms_accepts_jobs_flag(self, capsys):
+        code = main(
+            ["atoms", "--start", "2010-01-15 08:00", "--jobs", "2"] + COMMON
+        )
+        assert code == 0
+        assert "Policy atom statistics" in capsys.readouterr().out
+
+    def test_trend_checkpoint_written(self, tmp_path, capsys):
+        ck = tmp_path / "trend.jsonl"
+        assert main(self.TREND + ["--checkpoint", str(ck)]) == 0
+        capsys.readouterr()
+        assert ck.exists()
+        assert len(ck.read_text(encoding="utf-8").splitlines()) == 2
