@@ -18,16 +18,19 @@ from repro.engine.scheduler import ExecutionEngine
 from repro.topology.evolution import WorldParams
 from repro.util.dates import utc_timestamp
 
+#: ``REPRO_BENCH_SMOKE=1`` shrinks the sweep to a CI-sized fixture.
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
 SPEEDUP_WORLD = WorldParams(
     seed=20250806,
-    as_scale=1 / 300.0,
-    prefix_scale=1 / 300.0,
+    as_scale=1 / (400.0 if SMOKE else 300.0),
+    prefix_scale=1 / (400.0 if SMOKE else 300.0),
     peer_scale=0.04,
     collector_scale=0.3,
     min_fullfeed_peers=8,
 )
 
-SWEEP_YEARS = list(range(2004, 2013))
+SWEEP_YEARS = list(range(2004, 2006 if SMOKE else 2013))
 
 
 def sweep_jobs():
@@ -59,7 +62,7 @@ def test_engine_speedup(tmp_path):
     cached_results, cached_s, cached_m = timed_run(1, cache=cache)
 
     lines = [
-        "Execution engine: 2004-2012 yearly sweep "
+        f"Execution engine: {SWEEP_YEARS[0]}-{SWEEP_YEARS[-1]} yearly sweep "
         f"({len(SWEEP_YEARS)} quarters, stability suites)",
         "=" * 72,
         f"host CPUs: {os.cpu_count()}",

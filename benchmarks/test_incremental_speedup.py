@@ -1,0 +1,98 @@
+"""Incremental atom maintenance vs from-scratch recomputation.
+
+Runs the same multi-quarter sweep twice through the engine — once with
+each quarter's four snapshots computed from scratch, once with the
+AtomIndex carrying atoms between them — and records wall time plus the
+maintenance counters.  Timing is never asserted (single-core containers
+tell their own story); what *is* asserted is value identity and the
+work-economy claim: per incremental step, the dirty set the index
+recomputes keys for stays a small fraction of the prefix table.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the sweep to a CI-sized fixture.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.engine.jobs import build_jobs, clear_worker_state
+from repro.engine.metrics import EngineMetrics
+from repro.engine.scheduler import ExecutionEngine
+from repro.topology.evolution import WorldParams
+from repro.util.dates import utc_timestamp
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+INCREMENTAL_WORLD = WorldParams(
+    seed=20260806,
+    as_scale=1 / (400.0 if SMOKE else 200.0),
+    prefix_scale=1 / (400.0 if SMOKE else 200.0),
+    peer_scale=0.04,
+    collector_scale=0.3,
+    min_fullfeed_peers=8,
+)
+
+SWEEP_YEARS = list(range(2004, 2006 if SMOKE else 2013))
+
+
+def sweep_jobs(incremental):
+    quarters = [(year, 1, float(year)) for year in SWEEP_YEARS]
+    return build_jobs(
+        INCREMENTAL_WORLD,
+        utc_timestamp(SWEEP_YEARS[0], 1, 1),
+        quarters,
+        with_stability=True,
+        incremental=incremental,
+    )
+
+
+def timed_run(incremental):
+    clear_worker_state()
+    metrics = EngineMetrics()
+    engine = ExecutionEngine(jobs=1, metrics=metrics)
+    started = time.perf_counter()
+    results = engine.run(sweep_jobs(incremental))
+    return results, time.perf_counter() - started, metrics
+
+
+def test_incremental_speedup():
+    scratch_results, scratch_s, _ = timed_run(incremental=False)
+    inc_results, inc_s, inc_metrics = timed_run(incremental=True)
+
+    rollup = inc_metrics.incremental_summary()
+    prefix_mean = sum(r.stats.n_prefixes for r in inc_results) / len(inc_results)
+    inc_steps = rollup["incremental_steps"]
+    dirty_per_step = rollup["dirty_total"] / inc_steps if inc_steps else 0.0
+
+    lines = [
+        f"Incremental atom maintenance: {SWEEP_YEARS[0]}-{SWEEP_YEARS[-1]} "
+        f"yearly sweep ({len(SWEEP_YEARS)} quarters x 4 snapshots)",
+        "=" * 72,
+        f"{'mode':<26}{'wall (s)':>10}{'steps':>8}{'rebuilds':>10}",
+        "-" * 54,
+        f"{'from scratch':<26}{scratch_s:>10.2f}"
+        f"{4 * len(SWEEP_YEARS):>8}{4 * len(SWEEP_YEARS):>10}",
+        f"{'incremental (AtomIndex)':<26}{inc_s:>10.2f}"
+        f"{rollup['steps']:>8}{rollup['rebuilds']:>10}",
+        "",
+        f"mean prefixes per snapshot:      {prefix_mean:,.0f}",
+        f"key recomputations (total):      {rollup['key_recomputations']:,}",
+        f"mean dirty set per incr. step:   {dirty_per_step:,.1f}",
+        f"index step time, rebuild:        {rollup['seconds_rebuild']:.2f}s",
+        f"index step time, incremental:    {rollup['seconds_incremental']:.2f}s",
+        f"incremental/scratch wall ratio:  {inc_s / scratch_s:.2f}x",
+    ]
+    emit("incremental_speedup", "\n".join(lines))
+
+    # Value identity: the whole point of the incremental mode.
+    assert len(inc_results) == len(scratch_results)
+    for a, b in zip(scratch_results, inc_results):
+        assert a.stats == b.stats
+        assert a.stability == b.stability
+        assert a.formation_shares == b.formation_shares
+        assert a.feed == b.feed
+
+    # Work economy: within a quarter, each maintained snapshot touches
+    # at least 3x fewer keys than the prefix table a rebuild would walk.
+    assert inc_steps >= len(SWEEP_YEARS)  # the later instants ride the index
+    assert dirty_per_step * 3 <= prefix_mean

@@ -9,14 +9,16 @@ and collects the trend series behind Figures 4, 5, 12 and 13.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.atoms import AtomSet
 from repro.core.formation import FormationResult, formation_distances
 from repro.core.fullfeed import feed_summary
+from repro.core.incremental import AtomIndex
 from repro.core.pipeline import AtomComputation, compute_policy_atoms
-from repro.core.sanitize import SanitizationConfig
+from repro.core.sanitize import SanitizationConfig, sanitize
 from repro.core.stability import stability_pair
 from repro.core.statistics import GeneralStats, general_stats
 from repro.core.update_correlation import UpdateCorrelation, update_correlation
@@ -45,6 +47,9 @@ class SnapshotSuite:
     after_week: Optional[AtomComputation] = None
     updates: Optional[UpdateCorrelation] = None
     update_record_count: int = 0
+    #: dirty-set / key-recomputation counters when the suite was built
+    #: incrementally (empty on the full-recomputation path)
+    incremental_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def atoms(self) -> AtomSet:
@@ -107,6 +112,7 @@ class LongitudinalStudy:
         family: int = AF_INET,
         sanitization: Optional[SanitizationConfig] = None,
         engine: Optional["ExecutionEngine"] = None,
+        incremental: bool = False,
     ):
         self.simulator = simulator
         self.family = family
@@ -114,6 +120,10 @@ class LongitudinalStudy:
         #: when set, run_years/run_quarters build a job graph and
         #: submit it instead of computing inline
         self.engine = engine
+        #: maintain atoms across a suite's instants via AtomIndex
+        #: instead of recomputing from scratch (value-identical output)
+        self.incremental = incremental
+        self._index: Optional[AtomIndex] = None
 
     # ------------------------------------------------------------------
     # Engine submission
@@ -147,12 +157,48 @@ class LongitudinalStudy:
             sanitization=self.sanitization,
             with_stability=with_stability,
             with_updates=with_updates,
+            incremental=self.incremental,
         )
         return [result_from_quarter(q) for q in self.engine.run(jobs)]
 
     def _compute(self, when: int) -> AtomComputation:
         records = self.simulator.rib_records(when, family=self.family)
         return compute_policy_atoms(records, config=self.sanitization)
+
+    def _compute_incremental(self, when: int) -> Tuple[AtomComputation, str]:
+        """One instant through the :class:`AtomIndex`.
+
+        Sanitization still runs per instant (vantage points and the
+        prefix universe legitimately move between snapshots); what the
+        index saves is the O(prefixes x VPs) key recomputation.  A
+        changed vantage-point list invalidates every key, so that case
+        falls back to a full rebuild — seeded with the shared intern
+        pool, which survives rebuilds.
+        """
+        records = self.simulator.rib_records(when, family=self.family)
+        dataset = sanitize(records, self.sanitization)
+        index = self._index
+        if index is not None and index.vantage_points == dataset.vantage_points:
+            index.sync_to(dataset.snapshot, prefixes=dataset.prefixes)
+            mode = "incremental"
+        else:
+            # The index owns a copy: sync_to mutates it, and earlier
+            # instants' datasets must stay pristine for their metrics.
+            # Pool and stats carry over so interning work and counters
+            # survive the rebuild.
+            if index is not None:
+                index.detach()
+            index = AtomIndex(
+                dataset.snapshot.copy(),
+                vantage_points=dataset.vantage_points,
+                prefixes=dataset.prefixes,
+                pool=index.pool if index is not None else None,
+                stats=index.stats if index is not None else None,
+            )
+            self._index = index
+            mode = "rebuild"
+        atoms = index.atoms()
+        return AtomComputation(atoms=atoms, dataset=dataset), mode
 
     def snapshot_suite(
         self,
@@ -166,7 +212,49 @@ class LongitudinalStudy:
         times = [
             utc_timestamp(year, month, day, hour) for day, hour in SNAPSHOT_OFFSETS
         ]
-        base = self._compute(times[0])
+        if not self.incremental:
+            base = self._compute(times[0])
+            suite = SnapshotSuite(
+                year=year, month=month, family=self.family, base=base
+            )
+            if with_updates:
+                records = self.simulator.update_records(
+                    times[0], hours=update_hours, family=self.family
+                )
+                suite.update_record_count = len(records)
+                suite.updates = update_correlation(base.atoms, records, max_size=7)
+            if with_stability:
+                suite.after_8h = self._compute(times[1])
+                suite.after_24h = self._compute(times[2])
+                suite.after_week = self._compute(times[3])
+            return suite
+        return self._incremental_suite(
+            year, month, times, with_stability, with_updates, update_hours
+        )
+
+    def _incremental_suite(
+        self,
+        year: int,
+        month: int,
+        times: Sequence[int],
+        with_stability: bool,
+        with_updates: bool,
+        update_hours: float,
+    ) -> SnapshotSuite:
+        """The within-quarter walk driven by the :class:`AtomIndex`."""
+        key_base = (
+            self._index.stats.key_recomputations if self._index else 0
+        )
+        dirty_base = len(self._index.stats.dirty_sizes) if self._index else 0
+        timings: List[Tuple[str, float]] = []
+
+        def step(when: int) -> AtomComputation:
+            started = time.perf_counter()
+            computation, mode = self._compute_incremental(when)
+            timings.append((mode, time.perf_counter() - started))
+            return computation
+
+        base = step(times[0])
         suite = SnapshotSuite(year=year, month=month, family=self.family, base=base)
         if with_updates:
             records = self.simulator.update_records(
@@ -175,9 +263,26 @@ class LongitudinalStudy:
             suite.update_record_count = len(records)
             suite.updates = update_correlation(base.atoms, records, max_size=7)
         if with_stability:
-            suite.after_8h = self._compute(times[1])
-            suite.after_24h = self._compute(times[2])
-            suite.after_week = self._compute(times[3])
+            suite.after_8h = step(times[1])
+            suite.after_24h = step(times[2])
+            suite.after_week = step(times[3])
+        stats = self._index.stats
+        suite.incremental_stats = {
+            "steps": len(timings),
+            "incremental_steps": sum(
+                1 for mode, _ in timings if mode == "incremental"
+            ),
+            "rebuilds": sum(1 for mode, _ in timings if mode == "rebuild"),
+            "key_recomputations": stats.key_recomputations - key_base,
+            "dirty_sizes": stats.dirty_sizes[dirty_base:],
+            "prefix_count": base.atoms.prefix_count(),
+            "seconds_rebuild": sum(
+                seconds for mode, seconds in timings if mode == "rebuild"
+            ),
+            "seconds_incremental": sum(
+                seconds for mode, seconds in timings if mode == "incremental"
+            ),
+        }
         return suite
 
     def run_years(

@@ -8,13 +8,16 @@ path attributes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.bgp.attributes import PathAttributes
 from repro.bgp.messages import ElementType, RouteRecord
 from repro.net.prefix import Prefix
 
 PeerId = Tuple[str, int, str]  # (collector, peer ASN, peer address)
+
+#: Mutation-listener signature: called with the touched (peer, prefix).
+MutationListener = Callable[[PeerId, Prefix], None]
 
 
 class AdjRIBIn:
@@ -69,6 +72,53 @@ class RIBSnapshot:
     def __init__(self, timestamp: int = 0):
         self.timestamp = timestamp
         self._tables: Dict[PeerId, AdjRIBIn] = {}
+        #: mutation listeners; the incremental atom index registers one
+        #: to collect its dirty prefix set (see repro.core.incremental)
+        self._listeners: List[MutationListener] = []
+
+    # ------------------------------------------------------------------
+    # Mutation hooks
+    # ------------------------------------------------------------------
+
+    def add_mutation_listener(self, listener: MutationListener) -> None:
+        """Register ``listener(peer_id, prefix)`` for every announce or
+        withdraw routed through this snapshot.
+
+        Listeners fire only for mutations applied through this object
+        (``apply_record``/``announce``/``withdraw``) — direct writes to
+        an :class:`AdjRIBIn` obtained via :meth:`table`, or through a
+        table-sharing view from :meth:`restrict_peers`, bypass them.
+        """
+        self._listeners.append(listener)
+
+    def remove_mutation_listener(self, listener: MutationListener) -> None:
+        """Unregister a listener (no-op when absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _table_for(self, peer_id: PeerId) -> AdjRIBIn:
+        table = self._tables.get(peer_id)
+        if table is None:
+            table = AdjRIBIn(peer_id)
+            self._tables[peer_id] = table
+        return table
+
+    def announce(self, peer_id: PeerId, prefix: Prefix,
+                 attributes: PathAttributes) -> None:
+        """Install one route and notify mutation listeners."""
+        self._table_for(peer_id).announce(prefix, attributes)
+        for listener in self._listeners:
+            listener(peer_id, prefix)
+
+    def withdraw(self, peer_id: PeerId, prefix: Prefix) -> None:
+        """Remove one route (no-op when absent) and notify listeners."""
+        table = self._tables.get(peer_id)
+        if table is not None:
+            table.withdraw(prefix)
+        for listener in self._listeners:
+            listener(peer_id, prefix)
 
     # ------------------------------------------------------------------
     # Construction
@@ -85,20 +135,20 @@ class RIBSnapshot:
 
     def apply_record(self, record: RouteRecord) -> None:
         """Fold one record (RIB chunk or update) into the snapshot."""
-        table = self._tables.get(record.peer_id)
-        if table is None:
-            table = AdjRIBIn(record.peer_id)
-            self._tables[record.peer_id] = table
+        table = self._table_for(record.peer_id)
+        listeners = self._listeners
         for element in record.elements:
             if element.element_type == ElementType.WITHDRAWAL:
                 table.withdraw(element.prefix)
             else:
                 table.announce(element.prefix, element.attributes)
+            for listener in listeners:
+                listener(record.peer_id, element.prefix)
         if record.timestamp > self.timestamp:
             self.timestamp = record.timestamp
 
     def copy(self) -> "RIBSnapshot":
-        """A deep copy (tables cloned)."""
+        """A deep copy (tables cloned; listeners do not carry over)."""
         clone = RIBSnapshot(self.timestamp)
         clone._tables = {pid: t.copy() for pid, t in self._tables.items()}
         return clone

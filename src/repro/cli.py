@@ -76,6 +76,10 @@ def _add_engine_options(parser: argparse.ArgumentParser,
     parser.add_argument("--cache-dir", type=Path, default=None, dest="cache_dir",
                         help="content-addressed result cache directory "
                              "(repeat runs skip recomputation)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="maintain atoms across each quarter's "
+                             "snapshots incrementally (identical results, "
+                             "separate cache key)")
     if with_checkpoint:
         parser.add_argument("--checkpoint", type=Path, default=None,
                             help="completion log; a killed sweep resumes "
@@ -180,6 +184,7 @@ def cmd_atoms(args: argparse.Namespace) -> int:
         warmup=(),
         times=(stamp,),
         family=family,
+        incremental=args.incremental,
         label=f"atoms@{args.start}",
     )
     quarter = engine.run([job])[0]
@@ -201,7 +206,9 @@ def cmd_trend(args: argparse.Namespace) -> int:
     years = list(range(args.first_year, args.last_year + 1, args.step))
     internet = SimulatedInternet(params, start=f"{years[0]}-01-01")
     engine = _build_engine(args)
-    study = LongitudinalStudy(internet, family=family, engine=engine)
+    study = LongitudinalStudy(
+        internet, family=family, engine=engine, incremental=args.incremental
+    )
     results = study.run_years(years, with_stability=not args.no_stability)
     rows = []
     for result in results:

@@ -20,6 +20,7 @@ from repro.core.formation import (
     formation_distances,
 )
 from repro.core.fullfeed import full_feed_peers, full_feed_threshold
+from repro.core.incremental import AtomIndex, IncrementalStats, PathInternPool
 from repro.core.moas import moas_prefixes, moas_share
 from repro.core.pipeline import AtomComputation, compute_policy_atoms
 from repro.core.sanitize import (
@@ -36,6 +37,7 @@ from repro.core.visibility import VisibilityReport, visibility_report
 
 __all__ = [
     "AtomComputation",
+    "AtomIndex",
     "AtomSet",
     "CleanDataset",
     "DynamicsSummary",
@@ -43,6 +45,8 @@ __all__ = [
     "FORMATION_METHOD_III",
     "FormationResult",
     "GeneralStats",
+    "IncrementalStats",
+    "PathInternPool",
     "PolicyAtom",
     "SanitizationConfig",
     "SanitizationReport",

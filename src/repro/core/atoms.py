@@ -123,6 +123,10 @@ class AtomSet:
         )
 
 
+#: Cache-miss sentinel: normalisation legitimately maps paths to None.
+_UNSET = object()
+
+
 def _prepare_path(path: Optional[ASPath], expand_singletons: bool,
                   strip_prepending: bool) -> Optional[ASPath]:
     """Apply the configured path normalisations; None drops the route."""
@@ -179,10 +183,13 @@ def compute_atoms(
         prefix_list = sorted(set(prefixes), key=Prefix.key)
 
     # Path vector per prefix.  ASPath objects are shared across prefixes
-    # of a unit, so the per-prefix key is a tuple of references.
+    # of a unit, so the per-prefix key is a tuple of references.  The
+    # normalisation cache is keyed on the (hashable) ASPath itself:
+    # keying on id() would go stale if attribute objects were ever built
+    # on access (ids are reused after gc), and cost two lookups per hit.
     tables = [snapshot.table(peer_id) for peer_id in vantage_points]
     groups: Dict[Tuple, List[Prefix]] = defaultdict(list)
-    normalise_cache: Dict[int, Optional[ASPath]] = {}
+    normalise_cache: Dict[ASPath, Optional[ASPath]] = {}
 
     for prefix in prefix_list:
         vector: List[Optional[ASPath]] = []
@@ -192,10 +199,10 @@ def compute_atoms(
                 vector.append(None)
                 continue
             raw = attributes.as_path
-            cached = normalise_cache.get(id(raw))
-            if cached is None and id(raw) not in normalise_cache:
+            cached = normalise_cache.get(raw, _UNSET)
+            if cached is _UNSET:
                 cached = _prepare_path(raw, expand_singleton_sets, strip_prepending)
-                normalise_cache[id(raw)] = cached
+                normalise_cache[raw] = cached
             vector.append(cached)
         if all(path is None for path in vector):
             continue  # prefix effectively unseen after normalisation

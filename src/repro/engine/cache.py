@@ -31,7 +31,9 @@ from repro.engine.jobs import (
 
 #: Bump whenever atom computation, sanitization, or the simulator
 #: change semantics: old cache entries silently become unreachable.
-CACHE_SALT = "repro-engine-v1"
+#: v2: job spec gained the ``incremental`` component and results carry
+#: incremental-maintenance counters.
+CACHE_SALT = "repro-engine-v2"
 
 
 def _canonical(value):

@@ -65,6 +65,9 @@ class SnapshotJob:
     sanitization: Optional[SanitizationConfig] = None
     with_updates: bool = False
     update_hours: float = 4.0
+    #: maintain atoms across the quarter's instants incrementally
+    #: (AtomIndex) instead of recomputing each snapshot from scratch
+    incremental: bool = False
     #: display label, e.g. ``"2004-01"``
     label: str = ""
     #: calendar position of the quarter
@@ -95,6 +98,10 @@ class SnapshotJob:
             ),
             "with_updates": self.with_updates,
             "update_hours": self.update_hours,
+            # Keyed although results are value-identical either way:
+            # the modes exercise different code paths, and a poisoned
+            # cache must never mask a divergence between them.
+            "incremental": self.incremental,
         }
 
 
@@ -118,6 +125,8 @@ class QuarterResult:
     update_pr_full: Dict[int, Optional[float]] = field(default_factory=dict)
     #: raw route records consumed (metrics input)
     record_count: int = 0
+    #: incremental-maintenance counters (empty for from-scratch runs)
+    incremental: Dict[str, object] = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -143,6 +152,7 @@ def result_to_payload(result: QuarterResult) -> Dict[str, object]:
         "update_record_count": result.update_record_count,
         "update_pr_full": sorted(result.update_pr_full.items()),
         "record_count": result.record_count,
+        "incremental": dict(result.incremental),
     }
 
 
@@ -171,6 +181,7 @@ def result_from_payload(payload: Dict[str, object]) -> QuarterResult:
         update_record_count=payload["update_record_count"],
         update_pr_full={int(k): v for k, v in payload["update_pr_full"]},
         record_count=payload["record_count"],
+        incremental=dict(payload.get("incremental", {})),
     )
 
 
@@ -225,7 +236,10 @@ def execute_snapshot_job(job: SnapshotJob) -> QuarterResult:
         internet.advance_to(when)
         applied.append(when)
     study = LongitudinalStudy(
-        internet, family=job.family, sanitization=job.sanitization
+        internet,
+        family=job.family,
+        sanitization=job.sanitization,
+        incremental=job.incremental,
     )
     if job.calendar_year:
         suite = study.snapshot_suite(
@@ -238,12 +252,18 @@ def execute_snapshot_job(job: SnapshotJob) -> QuarterResult:
     else:
         # Ad-hoc instant (``repro atoms``): one base snapshot at an
         # arbitrary timestamp, outside the paper's quarter cadence.
+        if job.incremental:
+            base, _ = study._compute_incremental(job.times[0])
+        else:
+            base = study._compute(job.times[0])
         suite = SnapshotSuite(
             year=0,
             month=job.month,
             family=job.family,
-            base=study._compute(job.times[0]),
+            base=base,
         )
+        if job.incremental and study._index is not None:
+            suite.incremental_stats = study._index.stats.as_dict()
     applied.extend(job.times)
     return summarize_suite(job, suite)
 
@@ -277,6 +297,7 @@ def summarize_suite(job: SnapshotJob, suite) -> QuarterResult:
         update_record_count=suite.update_record_count,
         update_pr_full=pr_full,
         record_count=sum(audit.records for audit in report.audits.values()),
+        incremental=dict(getattr(suite, "incremental_stats", {}) or {}),
     )
 
 
@@ -289,6 +310,7 @@ def build_jobs(
     with_stability: bool = True,
     with_updates: bool = False,
     update_hours: float = 4.0,
+    incremental: bool = False,
 ) -> List[SnapshotJob]:
     """The job graph of a sweep.
 
@@ -311,6 +333,7 @@ def build_jobs(
                 sanitization=sanitization,
                 with_updates=with_updates,
                 update_hours=update_hours,
+                incremental=incremental,
                 label=f"{calendar_year}-{month:02d}",
                 calendar_year=calendar_year,
                 month=month,

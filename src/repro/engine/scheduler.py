@@ -109,6 +109,7 @@ class ExecutionEngine:
                 "seconds": seconds,
                 "records": result.record_count,
                 "worker": worker,
+                "incremental": dict(result.incremental),
             },
         )
 

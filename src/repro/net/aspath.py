@@ -283,3 +283,55 @@ class ASPath:
 
 
 EMPTY_PATH = ASPath(())
+
+#: RFC 6793 placeholder ASN used by 2-byte speakers for 4-byte ASes.
+AS_TRANS = 23456
+
+
+def merge_as4_path(as_path: ASPath, as4_path: ASPath) -> ASPath:
+    """Reconcile AS_PATH with AS4_PATH per RFC 6793 §4.2.3.
+
+    A 2-byte speaker substitutes :data:`AS_TRANS` for every 4-byte ASN
+    in AS_PATH and carries the true path in the transitive AS4_PATH
+    attribute.  The merged path takes the leading
+    ``len(AS_PATH) - len(AS4_PATH)`` hops of AS_PATH (the portion added
+    by 2-byte speakers after the attribute was attached) followed by
+    the AS4_PATH.  A malformed AS4_PATH *longer* than AS_PATH is
+    ignored and AS_PATH wins, as the RFC requires.
+    """
+    excess = as_path.hop_count() - as4_path.hop_count()
+    if excess < 0:
+        return as_path
+    if excess == 0:
+        return as4_path
+    lead: List[PathSegment] = []
+    remaining = excess
+    for segment in as_path.segments:
+        if remaining <= 0:
+            break
+        if segment.is_set:
+            lead.append(segment)
+            remaining -= 1  # an AS_SET counts as one hop (RFC 4271 §9.1.2.2)
+        elif len(segment.asns) <= remaining:
+            lead.append(segment)
+            remaining -= len(segment.asns)
+        else:
+            lead.append(
+                PathSegment(SegmentType.AS_SEQUENCE, segment.asns[:remaining])
+            )
+            remaining = 0
+    merged: List[PathSegment] = list(lead)
+    for segment in as4_path.segments:
+        # Coalesce adjacent sequences so the merged path is canonical
+        # (equal to the path a 4-byte speaker would have sent).
+        if (
+            merged
+            and not merged[-1].is_set
+            and not segment.is_set
+        ):
+            merged[-1] = PathSegment(
+                SegmentType.AS_SEQUENCE, merged[-1].asns + segment.asns
+            )
+        else:
+            merged.append(segment)
+    return ASPath(merged)

@@ -24,7 +24,7 @@ from typing import BinaryIO, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bgp.attributes import Community, PathAttributes
 from repro.bgp.messages import ElementType, RouteElement, RouteRecord
-from repro.net.aspath import ASPath, PathSegment, SegmentType
+from repro.net.aspath import AS_TRANS, ASPath, PathSegment, SegmentType, merge_as4_path
 from repro.net.prefix import AF_INET, AF_INET6, Prefix
 
 # MRT types.
@@ -127,6 +127,8 @@ def _encode_as_path(path: ASPath, asn_size: int = 4) -> bytes:
         out.append(1 if segment.is_set else 2)
         out.append(len(segment.asns))
         for asn in segment.asns:
+            if asn_size == 2 and asn > 0xFFFF:
+                asn = AS_TRANS  # RFC 6793: 2-byte speakers substitute
             out += asn.to_bytes(asn_size, "big")
     return bytes(out)
 
@@ -140,6 +142,7 @@ def _decode_attributes(
     IPv6 NLRI ride inside MP_(UN)REACH attributes.
     """
     as_path: Optional[ASPath] = None
+    as4_path: Optional[ASPath] = None
     communities: List[Community] = []
     med = 0
     v6_announced: List[Prefix] = []
@@ -167,10 +170,12 @@ def _decode_attributes(
             raise MRTError("attribute body truncated")
         offset += length
 
-        if type_code in (ATTR_AS_PATH, ATTR_AS4_PATH):
-            as_path = _decode_as_path(
-                body, 4 if type_code == ATTR_AS4_PATH else asn_size
-            )
+        if type_code == ATTR_AS_PATH:
+            as_path = _decode_as_path(body, asn_size)
+        elif type_code == ATTR_AS4_PATH:
+            # AS4_PATH is always 4-byte encoded (RFC 6793 §3), whatever
+            # the session's AS_PATH encoding.
+            as4_path = _decode_as_path(body, 4)
         elif type_code == ATTR_MED:
             med = int.from_bytes(body, "big")
         elif type_code == ATTR_COMMUNITIES:
@@ -200,6 +205,9 @@ def _decode_attributes(
                 v6_withdrawn.append(prefix)
         # ORIGIN and anything else: ignored (not consumed by analyses).
 
+    if as_path is not None and as4_path is not None:
+        # 2-byte session: restore the 4-byte ASNs AS_TRANS stood in for.
+        as_path = merge_as4_path(as_path, as4_path)
     if as_path is None:
         return None, v6_announced, v6_withdrawn, med
     return (
@@ -321,6 +329,16 @@ class MRTReader:
     def _bgp4mp_record(self, body: bytes, subtype: int,
                        timestamp: int) -> Optional[RouteRecord]:
         asn_size = 4 if subtype == BGP4MP_MESSAGE_AS4 else 2
+
+        def corrupt(reason: str, peer_asn: int = 0,
+                    peer_address: str = "0.0.0.0") -> RouteRecord:
+            return RouteRecord(
+                "update", self.project, self.collector, peer_asn,
+                peer_address, timestamp, [], corrupt_warning=reason,
+            )
+
+        if len(body) < 2 * asn_size + 4:
+            return corrupt("truncated BGP4MP peer header")
         offset = 0
         peer_asn = int.from_bytes(body[offset : offset + asn_size], "big")
         offset += 2 * asn_size  # peer AS + local AS
@@ -328,6 +346,8 @@ class MRTReader:
         afi = int.from_bytes(body[offset : offset + 2], "big")
         offset += 2
         addr_len = 4 if afi == AFI_IPV4 else 16
+        if len(body) < offset + 2 * addr_len:
+            return corrupt("truncated BGP4MP address block", peer_asn)
         raw = body[offset : offset + addr_len]
         if afi == AFI_IPV4:
             peer_address = ".".join(str(b) for b in raw)
@@ -338,37 +358,62 @@ class MRTReader:
         offset += 2 * addr_len  # peer + local address
 
         # BGP message: 16-byte marker, 2-byte length, 1-byte type.
+        # Damaged records (bad marker, length pointing past the MRT
+        # body) become flagged corrupt_warning records — the signal the
+        # sanitizer's ADD-PATH heuristic keys on — never misparses.
         marker_end = offset + 16
+        if len(body) < marker_end + 3:
+            return corrupt("truncated BGP message header", peer_asn, peer_address)
+        if body[offset:marker_end] != b"\xff" * 16:
+            return corrupt("invalid BGP message marker", peer_asn, peer_address)
+        declared = int.from_bytes(body[marker_end : marker_end + 2], "big")
+        if declared < 19 or offset + declared > len(body):
+            return corrupt(
+                f"declared BGP message length {declared} exceeds record",
+                peer_asn, peer_address,
+            )
+        message_end = offset + declared
         message_type = body[marker_end + 2]
         offset = marker_end + 3
         if message_type != 2:  # not an UPDATE
             return None
 
-        withdrawn_length = int.from_bytes(body[offset : offset + 2], "big")
-        offset += 2
-        withdrawn_block = body[offset : offset + withdrawn_length]
-        offset += withdrawn_length
-        attr_length = int.from_bytes(body[offset : offset + 2], "big")
-        offset += 2
-        attr_block = body[offset : offset + attr_length]
-        offset += attr_length
-        nlri_block = body[offset:]
+        try:
+            if offset + 2 > message_end:
+                raise MRTError("withdrawn-routes length truncated")
+            withdrawn_length = int.from_bytes(body[offset : offset + 2], "big")
+            offset += 2
+            if offset + withdrawn_length > message_end:
+                raise MRTError("withdrawn routes overrun the message")
+            withdrawn_block = body[offset : offset + withdrawn_length]
+            offset += withdrawn_length
+            if offset + 2 > message_end:
+                raise MRTError("path-attribute length truncated")
+            attr_length = int.from_bytes(body[offset : offset + 2], "big")
+            offset += 2
+            if offset + attr_length > message_end:
+                raise MRTError("path attributes overrun the message")
+            attr_block = body[offset : offset + attr_length]
+            offset += attr_length
+            nlri_block = body[offset:message_end]
 
-        elements: List[RouteElement] = []
-        pos = 0
-        while pos < len(withdrawn_block):
-            prefix, pos = _decode_nlri(withdrawn_block, pos, AF_INET)
-            elements.append(RouteElement(ElementType.WITHDRAWAL, prefix))
-        attributes, v6_announced, v6_withdrawn, _ = _decode_attributes(
-            attr_block, asn_size
-        )
-        pos = 0
-        while pos < len(nlri_block):
-            prefix, pos = _decode_nlri(nlri_block, pos, AF_INET)
-            if attributes is not None:
-                elements.append(
-                    RouteElement(ElementType.ANNOUNCEMENT, prefix, attributes)
-                )
+            elements: List[RouteElement] = []
+            pos = 0
+            while pos < len(withdrawn_block):
+                prefix, pos = _decode_nlri(withdrawn_block, pos, AF_INET)
+                elements.append(RouteElement(ElementType.WITHDRAWAL, prefix))
+            attributes, v6_announced, v6_withdrawn, _ = _decode_attributes(
+                attr_block, asn_size
+            )
+            pos = 0
+            while pos < len(nlri_block):
+                prefix, pos = _decode_nlri(nlri_block, pos, AF_INET)
+                if attributes is not None:
+                    elements.append(
+                        RouteElement(ElementType.ANNOUNCEMENT, prefix, attributes)
+                    )
+        except MRTError as error:
+            return corrupt(f"damaged BGP UPDATE: {error}", peer_asn, peer_address)
         for prefix in v6_announced:
             if attributes is not None:
                 elements.append(
@@ -450,7 +495,8 @@ class MRTWriter:
         )
         self._emit(timestamp, MRT_TABLE_DUMP_V2, subtype, bytes(body))
 
-    def _encode_update_attributes(self, attributes: PathAttributes) -> bytes:
+    def _encode_update_attributes(self, attributes: PathAttributes,
+                                  asn_size: int = 4) -> bytes:
         block = bytearray()
 
         def attribute(type_code: int, payload: bytes, flags: int = 0x40) -> None:
@@ -463,7 +509,15 @@ class MRTWriter:
             block.extend(payload)
 
         attribute(ATTR_ORIGIN, bytes([int(attributes.origin)]))
-        attribute(ATTR_AS_PATH, _encode_as_path(attributes.as_path, 4))
+        attribute(ATTR_AS_PATH, _encode_as_path(attributes.as_path, asn_size))
+        if asn_size == 2 and any(
+            asn > 0xFFFF for asn in attributes.as_path.asns()
+        ):
+            # The true 4-byte path rides in the optional transitive
+            # AS4_PATH attribute (RFC 6793 §3).
+            attribute(
+                ATTR_AS4_PATH, _encode_as_path(attributes.as_path, 4), flags=0xC0
+            )
         if attributes.med:
             attribute(ATTR_MED, attributes.med.to_bytes(4, "big"), flags=0x80)
         if attributes.communities:
@@ -481,12 +535,17 @@ class MRTWriter:
         announced: Sequence[Tuple[Prefix, PathAttributes]],
         withdrawn: Sequence[Prefix] = (),
         timestamp: int = 0,
+        as4: bool = True,
     ) -> None:
-        """Write one BGP4MP MESSAGE_AS4 UPDATE.
+        """Write one BGP4MP UPDATE (``MESSAGE_AS4``, or with
+        ``as4=False`` a legacy 2-byte-ASN ``MESSAGE``).
 
         All announced prefixes must share one attribute bundle (as in a
         real UPDATE); IPv6 prefixes ride in MP_(UN)REACH attributes.
+        Legacy records substitute AS_TRANS in AS_PATH and attach the
+        true path as AS4_PATH when any ASN needs 4 bytes (RFC 6793).
         """
+        asn_size = 4 if as4 else 2
         attributes = announced[0][1] if announced else None
         v4_announced = [p for p, _ in announced if p.family == AF_INET]
         v6_announced = [p for p, _ in announced if p.family == AF_INET6]
@@ -496,7 +555,7 @@ class MRTWriter:
         withdrawn_block = b"".join(_encode_nlri(p) for p in v4_withdrawn)
         attr_block = bytearray()
         if attributes is not None:
-            attr_block += self._encode_update_attributes(attributes)
+            attr_block += self._encode_update_attributes(attributes, asn_size)
         if v6_announced:
             payload = bytearray()
             payload += AFI_IPV6.to_bytes(2, "big")
@@ -533,12 +592,16 @@ class MRTWriter:
         message.append(2)  # UPDATE
         message += update
 
+        header_peer_asn = (
+            peer_asn if as4 or peer_asn <= 0xFFFF else AS_TRANS
+        )
         body = bytearray()
-        body += peer_asn.to_bytes(4, "big")
-        body += (64512).to_bytes(4, "big")  # local AS
+        body += header_peer_asn.to_bytes(asn_size, "big")
+        body += (64512).to_bytes(asn_size, "big")  # local AS
         body += (0).to_bytes(2, "big")  # interface index
         body += AFI_IPV4.to_bytes(2, "big")
         body += bytes(int(part) for part in peer_address.split("."))
         body += bytes(4)  # local address
         body += message
-        self._emit(timestamp, MRT_BGP4MP, BGP4MP_MESSAGE_AS4, bytes(body))
+        subtype = BGP4MP_MESSAGE_AS4 if as4 else BGP4MP_MESSAGE
+        self._emit(timestamp, MRT_BGP4MP, subtype, bytes(body))

@@ -215,3 +215,78 @@ class TestIndexes:
         atoms = atoms_2024.atoms
         assert 0 < len(atoms) <= atoms.prefix_count()
         assert atoms.origin_count() <= len(atoms)
+
+
+class TestNormalisationCache:
+    """The per-call normalisation cache must key on path *value*.
+
+    Keying on ``id(raw)`` is unsafe when attribute objects are built on
+    access (ids are reused after gc) and costs two lookups per hit; the
+    cache keys on the hashable ``ASPath`` itself instead.
+    """
+
+    def test_equal_but_distinct_paths_normalise_once(self, monkeypatch):
+        import repro.core.atoms as atoms_module
+
+        calls = []
+        real_prepare = atoms_module._prepare_path
+
+        def counting_prepare(path, expand, strip):
+            calls.append(path)
+            return real_prepare(path, expand, strip)
+
+        monkeypatch.setattr(atoms_module, "_prepare_path", counting_prepare)
+
+        # Two VPs carrying equal-valued but distinct ASPath objects, as
+        # a parser materialising attributes per record would produce.
+        path_a = ASPath.parse("1 5 {7} 9")
+        path_b = ASPath.parse("1 5 {7} 9")
+        assert path_a == path_b and path_a is not path_b
+        snapshot = RIBSnapshot()
+        for peer, path in ((1, path_a), (2, path_b)):
+            snapshot.apply_record(
+                RouteRecord(
+                    "rib", "ris", "rrc00", peer, f"10.9.{peer}.1", 100,
+                    [
+                        RouteElement(
+                            ElementType.RIB, Prefix.parse(P1),
+                            PathAttributes(path),
+                        ),
+                        RouteElement(
+                            ElementType.RIB, Prefix.parse(P2),
+                            PathAttributes(path),
+                        ),
+                    ],
+                )
+            )
+        atoms = compute_atoms(snapshot)
+        # One normalisation for the whole snapshot: the second peer's
+        # equal-valued path is a cache hit, not a new id entry.
+        assert len(calls) == 1
+        assert len(atoms) == 1
+        assert atoms.atoms[0].paths[0] == ASPath.parse("1 5 7 9")
+
+    def test_cache_handles_paths_normalising_to_none(self, monkeypatch):
+        import repro.core.atoms as atoms_module
+
+        calls = []
+        real_prepare = atoms_module._prepare_path
+
+        def counting_prepare(path, expand, strip):
+            calls.append(path)
+            return real_prepare(path, expand, strip)
+
+        monkeypatch.setattr(atoms_module, "_prepare_path", counting_prepare)
+
+        # A multi-element AS_SET normalises to None (route dropped);
+        # the sentinel pattern must cache that None as a real hit.
+        snapshot = build_snapshot(
+            {
+                ("rrc00", 1): {P1: "1 {5, 6} 9", P2: "1 {5, 6} 9"},
+                ("rrc00", 2): {P1: "2 8 9", P2: "2 8 9"},
+            }
+        )
+        atoms = compute_atoms(snapshot)
+        assert len(calls) == 2  # one per distinct path value
+        assert len(atoms) == 1
+        assert atoms.atoms[0].paths[0] is None

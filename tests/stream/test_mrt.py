@@ -218,3 +218,186 @@ class TestPipelineIntegration:
         assert len(atoms) == 2
         sizes = sorted(atom.size for atom in atoms)
         assert sizes == [1, 2]
+
+
+class TestAs4Path:
+    """RFC 6793: 2-byte MESSAGE records with AS_TRANS + AS4_PATH."""
+
+    def test_legacy_update_roundtrips_4byte_asns(self):
+        # 196615 needs 4 bytes: a 2-byte session carries AS_TRANS in
+        # AS_PATH and the true path in AS4_PATH.
+        bundle = attrs([65001, 196615, 394254])
+
+        def write(writer):
+            writer.write_update(
+                65001, "10.0.0.1",
+                announced=[(Prefix.parse("10.1.0.0/16"), bundle)],
+                as4=False,
+            )
+
+        records = roundtrip(write)
+        assert len(records) == 1
+        record = records[0]
+        assert not record.is_corrupt
+        element = record.elements[0]
+        # Without the merge, AS_TRANS (23456) would remain in the path
+        # and split atoms spuriously.
+        assert element.attributes.as_path == ASPath.from_asns(
+            [65001, 196615, 394254]
+        )
+        assert not element.attributes.as_path.contains_asn(23456)
+
+    def test_legacy_update_without_4byte_asns_has_no_as4_path(self):
+        from repro.stream.mrt import ATTR_AS4_PATH, MRTWriter
+
+        buffer = io.BytesIO()
+        writer = MRTWriter(buffer)
+        bundle = attrs([65001, 3257, 9002])
+        writer.write_update(
+            65001, "10.0.0.1",
+            announced=[(Prefix.parse("10.1.0.0/16"), bundle)],
+            as4=False,
+        )
+        # No ASN needs 4 bytes, so no AS4_PATH attribute is emitted and
+        # the plain 2-byte path round-trips unchanged.
+        data = buffer.getvalue()
+        assert bytes([0xC0, ATTR_AS4_PATH]) not in data
+        buffer.seek(0)
+        records = list(read_mrt(buffer))
+        assert records[0].elements[0].attributes.as_path == bundle.as_path
+
+    def test_longer_as_path_keeps_leading_hops(self):
+        from repro.net.aspath import merge_as4_path
+
+        # A 2-byte speaker prepended itself after AS4_PATH was attached:
+        # the merged path keeps the excess leading AS_PATH hop.
+        as_path = ASPath.from_asns([64499, 23456, 23456])
+        as4_path = ASPath.from_asns([196615, 196616])
+        merged = merge_as4_path(as_path, as4_path)
+        assert merged == ASPath.from_asns([64499, 196615, 196616])
+
+    def test_malformed_longer_as4_path_ignored(self):
+        from repro.net.aspath import merge_as4_path
+
+        as_path = ASPath.from_asns([64499, 23456])
+        as4_path = ASPath.from_asns([1, 2, 3])
+        assert merge_as4_path(as_path, as4_path) == as_path
+
+
+class TestBgp4mpValidation:
+    """Damaged BGP4MP records are flagged, never misparsed."""
+
+    def _valid_update_bytes(self):
+        buffer = io.BytesIO()
+        writer = MRTWriter(buffer)
+        writer.write_update(
+            65001, "10.0.0.1",
+            announced=[(Prefix.parse("10.1.0.0/16"), attrs([65001, 9]))],
+            timestamp=7,
+        )
+        return bytearray(buffer.getvalue())
+
+    def test_bad_marker_flagged(self):
+        import struct
+
+        data = self._valid_update_bytes()
+        header_len = 12
+        # BGP4MP_MESSAGE_AS4 peer header: 4+4 ASNs, 2 ifindex, 2 AFI,
+        # 4+4 addresses = 20 bytes; the marker starts right after.
+        marker_offset = header_len + 20
+        assert data[marker_offset] == 0xFF
+        data[marker_offset] = 0x00
+        records = list(read_mrt(io.BytesIO(bytes(data))))
+        assert len(records) == 1
+        assert records[0].is_corrupt
+        assert "marker" in records[0].corrupt_warning
+        assert records[0].peer_asn == 65001
+        assert records[0].elements == ()
+
+    def test_declared_length_beyond_record_flagged(self):
+        data = self._valid_update_bytes()
+        length_offset = 12 + 20 + 16
+        data[length_offset : length_offset + 2] = (999).to_bytes(2, "big")
+        records = list(read_mrt(io.BytesIO(bytes(data))))
+        assert records[0].is_corrupt
+        assert "length" in records[0].corrupt_warning
+
+    def test_truncated_message_body_flagged(self):
+        import struct
+
+        data = self._valid_update_bytes()
+        # Chop the last 6 bytes of the UPDATE and fix up the MRT length
+        # so only the BGP-level declared length disagrees.
+        chopped = data[:-6]
+        mrt_len = len(chopped) - 12
+        chopped[8:12] = mrt_len.to_bytes(4, "big")
+        records = list(read_mrt(io.BytesIO(bytes(chopped))))
+        assert len(records) == 1
+        assert records[0].is_corrupt
+
+    def test_truncated_peer_header_flagged(self):
+        import struct
+
+        buffer = io.BytesIO(struct.pack(">IHHI", 7, 16, 4, 3) + b"\x00\x00\x00")
+        records = list(read_mrt(buffer))
+        assert records[0].is_corrupt
+        assert "peer header" in records[0].corrupt_warning
+
+    def test_corrupt_records_feed_sanitizer_signal(self):
+        """The flagged records carry the signal sanitize() keys on."""
+        from repro.core.sanitize import SanitizationConfig, audit_peers, flag_abnormal_peers
+
+        data = self._valid_update_bytes()
+        marker_offset = 12 + 20
+        data[marker_offset] = 0x00
+        records = list(read_mrt(io.BytesIO(bytes(data))))
+        audits, _ = audit_peers(records)
+        removed = flag_abnormal_peers(audits, SanitizationConfig())
+        assert removed == {65001: "addpath"}
+
+
+class TestIPv6PureWithdrawal:
+    """MP_UNREACH_NLRI-only UPDATEs (no AS_PATH at all) must flow
+    through read_mrt -> RIBSnapshot.apply_record and remove routes."""
+
+    def test_withdrawal_reaches_rib(self):
+        from repro.bgp.rib import RIBSnapshot
+
+        prefix = Prefix.parse("2001:db8::/32")
+        bundle = attrs([65001, 9])
+
+        buffer = io.BytesIO()
+        writer = MRTWriter(buffer)
+        writer.write_update(
+            65001, "10.0.0.1", announced=[(prefix, bundle)], timestamp=10
+        )
+        writer.write_update(
+            65001, "10.0.0.1", announced=[], withdrawn=[prefix], timestamp=20
+        )
+        buffer.seek(0)
+        records = list(read_mrt(buffer, collector="rrc00"))
+        assert len(records) == 2
+        pure = records[1]
+        assert not pure.is_corrupt
+        assert [e.is_withdrawal for e in pure.elements] == [True]
+        assert pure.elements[0].attributes is None
+
+        snapshot = RIBSnapshot()
+        snapshot.apply_record(records[0])
+        table = snapshot.table(records[0].peer_id)
+        assert table is not None and prefix in table
+        snapshot.apply_record(pure)
+        assert prefix not in table
+        assert snapshot.timestamp == 20
+
+    def test_withdrawal_only_no_other_attributes(self):
+        # The attribute block holds exactly one attribute: MP_UNREACH.
+        prefix = Prefix.parse("2001:db8:7::/48")
+        buffer = io.BytesIO()
+        writer = MRTWriter(buffer)
+        writer.write_update(65001, "10.0.0.1", announced=[], withdrawn=[prefix])
+        buffer.seek(0)
+        records = list(read_mrt(buffer))
+        assert len(records) == 1
+        assert {str(e.prefix) for e in records[0].elements} == {str(prefix)}
+        assert all(e.is_withdrawal for e in records[0].elements)
