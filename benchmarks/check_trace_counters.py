@@ -1,0 +1,143 @@
+"""Counter-based bench regression gate.
+
+Runs two small, fully deterministic ``repro trend`` sweeps (plain and
+incremental) with ``--trace``, rolls the traces' *counters* up into
+``BENCH_smoke.json`` and compares them against the committed
+expectations in ``trace_expectations.json``.
+
+Counters — records decoded, prefixes sanitized, normalise-cache hits,
+dirty-set economy, engine job sources — are exact functions of the
+(seeded) simulated world, so any drift means the pipeline's work
+changed: a decoder regression, a sanitizer behavior change, a cache
+that stopped hitting.  Timings are deliberately never compared; shared
+CI runners make them noise.
+
+Usage::
+
+    python benchmarks/check_trace_counters.py            # compare, exit 1 on drift
+    python benchmarks/check_trace_counters.py --update   # rewrite expectations
+
+CI runs the compare mode in the bench-smoke job and uploads the trace
+JSONL files plus ``BENCH_smoke.json`` as artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from repro.cli import main as repro_main
+from repro.obs import load_trace
+
+HERE = Path(__file__).parent
+EXPECTATIONS = HERE / "trace_expectations.json"
+
+#: The smoke sweep: tiny world, a few years, deterministic seed.  The
+#: incremental scenario keeps the stability snapshots (several per
+#: quarter) so the dirty-set economy counters are exercised.
+BASE_ARGS = [
+    "trend",
+    "--scale", "400",
+    "--peer-scale", "0.03",
+    "--seed", "20250701",
+    "--first-year", "2004",
+    "--step", "1",
+]
+
+SCENARIOS: Dict[str, List[str]] = {
+    "trend": BASE_ARGS + ["--last-year", "2006", "--no-stability"],
+    "trend-incremental": BASE_ARGS + ["--last-year", "2005", "--incremental"],
+}
+
+#: Only counters are gated; every one is an exact count, never a timing.
+TRACKED_PREFIXES = (
+    "decode.",
+    "sanitize.",
+    "atoms.",
+    "incremental.",
+    "engine.",
+)
+
+
+def run_scenarios(output_dir: Path) -> Dict[str, Dict[str, int]]:
+    """Run every scenario traced; return its tracked counters."""
+    output_dir.mkdir(parents=True, exist_ok=True)
+    collected: Dict[str, Dict[str, int]] = {}
+    for name, cli_args in SCENARIOS.items():
+        trace_path = output_dir / f"trace_{name}.jsonl"
+        code = repro_main(cli_args + ["--trace", str(trace_path)])
+        if code != 0:
+            raise SystemExit(f"scenario {name!r} exited with {code}")
+        trace = load_trace(trace_path)
+        collected[name] = {
+            counter: value
+            for counter, value in sorted(trace.counters.items())
+            if counter.startswith(TRACKED_PREFIXES)
+        }
+    return collected
+
+
+def diff(expected: Dict[str, Dict[str, int]],
+         actual: Dict[str, Dict[str, int]]) -> List[str]:
+    """Human-readable drift lines; empty means the gate passes."""
+    problems: List[str] = []
+    for scenario in sorted(set(expected) | set(actual)):
+        want = expected.get(scenario)
+        got = actual.get(scenario)
+        if want is None:
+            problems.append(f"{scenario}: scenario not in expectations "
+                            "(run with --update)")
+            continue
+        if got is None:
+            problems.append(f"{scenario}: scenario did not run")
+            continue
+        for counter in sorted(set(want) | set(got)):
+            if want.get(counter) != got.get(counter):
+                problems.append(
+                    f"{scenario}: {counter} expected "
+                    f"{want.get(counter)}, got {got.get(counter)}"
+                )
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite trace_expectations.json from this run")
+    parser.add_argument("--output-dir", type=Path,
+                        default=HERE / "output",
+                        help="where traces and BENCH_smoke.json land")
+    args = parser.parse_args(argv)
+
+    actual = run_scenarios(args.output_dir)
+    summary_path = args.output_dir / "BENCH_smoke.json"
+    summary_path.write_text(json.dumps(actual, indent=2) + "\n")
+    print(f"wrote {summary_path}")
+
+    if args.update:
+        EXPECTATIONS.write_text(json.dumps(actual, indent=2) + "\n")
+        print(f"wrote {EXPECTATIONS}")
+        return 0
+
+    if not EXPECTATIONS.exists():
+        print(f"missing {EXPECTATIONS}; run with --update", file=sys.stderr)
+        return 2
+    expected = json.loads(EXPECTATIONS.read_text())
+    problems = diff(expected, actual)
+    if problems:
+        print("stage counter drift detected:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        print("(if intentional, regenerate with --update)", file=sys.stderr)
+        return 1
+    counters = sum(len(v) for v in actual.values())
+    print(f"{counters} counters across {len(actual)} scenario(s) match "
+          "expectations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,7 @@ show the fast-then-flat decay, with 2024 clearly less stable.
 """
 
 from benchmarks.conftest import emit
-from repro.core.stability import complete_atom_match, maximized_prefix_match
+from repro.core.stability import complete_atom_match
 from repro.reporting.tables import render_table
 
 PAPER = {

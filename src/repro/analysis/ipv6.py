@@ -17,7 +17,6 @@ from repro.core.statistics import (
     GeneralStats,
     atoms_per_as_distribution,
     cdf,
-    general_stats,
     prefixes_per_atom_distribution,
 )
 from repro.net.prefix import AF_INET, AF_INET6

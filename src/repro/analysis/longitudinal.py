@@ -23,6 +23,7 @@ from repro.core.stability import stability_pair
 from repro.core.statistics import GeneralStats, general_stats
 from repro.core.update_correlation import UpdateCorrelation, update_correlation
 from repro.net.prefix import AF_INET
+from repro.obs import get_tracer, traced_records
 from repro.reporting.series import Series
 from repro.simulation.scenario import SimulatedInternet
 from repro.util.dates import utc_timestamp
@@ -161,8 +162,23 @@ class LongitudinalStudy:
         )
         return [result_from_quarter(q) for q in self.engine.run(jobs)]
 
+    def _update_records(self, start: int, hours: float):
+        """The post-snapshot update stream, as a traced ingest stage."""
+        tracer = get_tracer()
+        with tracer.span("mrt-decode", source="simulated-updates") as span:
+            records = self.simulator.update_records(
+                start, hours=hours, family=self.family
+            )
+            if tracer.enabled:
+                span.set(records=len(records))
+                tracer.count("decode.records", len(records))
+        return records
+
     def _compute(self, when: int) -> AtomComputation:
-        records = self.simulator.rib_records(when, family=self.family)
+        records = traced_records(
+            self.simulator.rib_records(when, family=self.family),
+            source="simulated",
+        )
         return compute_policy_atoms(records, config=self.sanitization)
 
     def _compute_incremental(self, when: int) -> Tuple[AtomComputation, str]:
@@ -175,7 +191,10 @@ class LongitudinalStudy:
         falls back to a full rebuild — seeded with the shared intern
         pool, which survives rebuilds.
         """
-        records = self.simulator.rib_records(when, family=self.family)
+        records = traced_records(
+            self.simulator.rib_records(when, family=self.family),
+            source="simulated",
+        )
         dataset = sanitize(records, self.sanitization)
         index = self._index
         if index is not None and index.vantage_points == dataset.vantage_points:
@@ -218,9 +237,7 @@ class LongitudinalStudy:
                 year=year, month=month, family=self.family, base=base
             )
             if with_updates:
-                records = self.simulator.update_records(
-                    times[0], hours=update_hours, family=self.family
-                )
+                records = self._update_records(times[0], update_hours)
                 suite.update_record_count = len(records)
                 suite.updates = update_correlation(base.atoms, records, max_size=7)
             if with_stability:
@@ -257,9 +274,7 @@ class LongitudinalStudy:
         base = step(times[0])
         suite = SnapshotSuite(year=year, month=month, family=self.family, base=base)
         if with_updates:
-            records = self.simulator.update_records(
-                times[0], hours=update_hours, family=self.family
-            )
+            records = self._update_records(times[0], update_hours)
             suite.update_record_count = len(records)
             suite.updates = update_correlation(base.atoms, records, max_size=7)
         if with_stability:

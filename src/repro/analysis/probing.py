@@ -11,7 +11,7 @@ good levels of accuracy") can be measured against simulated drift.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.atoms import AtomSet
 from repro.net.prefix import Prefix

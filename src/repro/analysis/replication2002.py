@@ -14,10 +14,10 @@ matching simulated dataset and reruns the original analyses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.atoms import AtomSet, compute_atoms
+from repro.core.atoms import AtomSet
 from repro.core.pipeline import AtomComputation, compute_policy_atoms
 from repro.core.sanitize import SanitizationConfig
 from repro.core.stability import stability_pair

@@ -7,10 +7,9 @@ point that the counts are stable around the adopted (>= 2, >= 4) cell.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.bgp.rib import RIBSnapshot
-from repro.net.prefix import Prefix
 
 
 def threshold_sensitivity(

@@ -10,7 +10,7 @@ families, v4 atoms are matched to v6 atoms by structural similarity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.core.atoms import AtomSet, PolicyAtom
 from repro.core.formation import FormationResult, formation_distances

@@ -9,8 +9,8 @@ concentrated on a few VPs (often the VP's own provider change).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.pipeline import AtomComputation, compute_policy_atoms
 from repro.core.sanitize import SanitizationConfig

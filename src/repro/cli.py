@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands mirror the measurement workflow:
+Four subcommands mirror the measurement workflow:
 
 * ``repro simulate`` — render a simulated snapshot (and optionally the
   following update stream) into an on-disk archive;
@@ -8,9 +8,13 @@ Three subcommands mirror the measurement workflow:
   from a fresh simulation, printing the statistics and the
   sanitization report;
 * ``repro trend``    — run a quick longitudinal sweep and print the
-  per-year atom trends.
+  per-year atom trends;
+* ``repro profile``  — render the per-stage wall-time/counter rollup of
+  a trace written by ``--trace`` (see ``docs/observability.md``).
 
-Run ``python -m repro <command> --help`` for the options.
+``repro atoms`` and ``repro trend`` accept ``--trace FILE.jsonl`` to
+record a structured trace of the run; output is byte-identical with or
+without it.  Run ``python -m repro <command> --help`` for the options.
 """
 
 from __future__ import annotations
@@ -30,6 +34,14 @@ from repro.engine.jobs import SnapshotJob
 from repro.engine.metrics import progress_hook
 from repro.engine.scheduler import ExecutionEngine
 from repro.net.prefix import AF_INET, AF_INET6
+from repro.obs import (
+    Tracer,
+    counter_rows,
+    load_trace,
+    profile_rows,
+    use_tracer,
+    validate_spans,
+)
 from repro.reporting.tables import render_table
 from repro.simulation.scenario import SimulatedInternet
 from repro.stream.archive import RecordArchive
@@ -80,6 +92,10 @@ def _add_engine_options(parser: argparse.ArgumentParser,
                         help="maintain atoms across each quarter's "
                              "snapshots incrementally (identical results, "
                              "separate cache key)")
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="write a JSONL span/counter trace of the run "
+                             "to this file (see docs/observability.md); "
+                             "output is unchanged")
     if with_checkpoint:
         parser.add_argument("--checkpoint", type=Path, default=None,
                             help="completion log; a killed sweep resumes "
@@ -234,6 +250,48 @@ def cmd_trend(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Handle ``repro profile``: roll up a ``--trace`` JSONL file."""
+    try:
+        trace = load_trace(args.trace_file)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 2
+    problems = validate_spans(trace.spans)
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    meta = trace.meta
+    print(
+        f"trace: {len(trace.spans)} span(s), {len(trace.counters)} "
+        f"counter(s), schema v{meta.get('version', '?')}"
+    )
+    print()
+    print(render_table(
+        ["stage", "spans", "total s", "self s"],
+        profile_rows(trace),
+        title="Per-stage wall time",
+    ))
+    rows = counter_rows(trace)
+    if rows:
+        print()
+        print(render_table(["counter", "value"], rows, title="Counters"))
+    if problems and args.check:
+        return 1
+    return 0
+
+
+def run_handler(args: argparse.Namespace) -> int:
+    """Dispatch to the subcommand, tracing it when ``--trace`` was given."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return args.handler(args)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        code = args.handler(args)
+    tracer.export(trace_path)
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -274,6 +332,16 @@ def build_parser() -> argparse.ArgumentParser:
     trend.add_argument("--step", type=int, default=4)
     trend.add_argument("--no-stability", action="store_true", dest="no_stability")
     trend.set_defaults(handler=cmd_trend)
+
+    profile = commands.add_parser(
+        "profile", help="render the per-stage rollup of a --trace file"
+    )
+    profile.add_argument("trace_file", type=Path,
+                         help="JSONL trace written by --trace")
+    profile.add_argument("--check", action="store_true",
+                         help="exit non-zero if the trace has structural "
+                              "problems (unclosed or escaping spans)")
+    profile.set_defaults(handler=cmd_profile)
     return parser
 
 
@@ -281,7 +349,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    return run_handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -52,6 +52,7 @@ __all__ = [
     "SanitizationReport",
     "SplitEvent",
     "UpdateCorrelation",
+    "VisibilityReport",
     "classify_updates",
     "complete_atom_match",
     "compute_atoms",

@@ -19,6 +19,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from repro.bgp.rib import PeerId, RIBSnapshot
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
+from repro.obs import get_tracer
 
 
 class PolicyAtom:
@@ -190,26 +191,43 @@ def compute_atoms(
     tables = [snapshot.table(peer_id) for peer_id in vantage_points]
     groups: Dict[Tuple, List[Prefix]] = defaultdict(list)
     normalise_cache: Dict[ASPath, Optional[ASPath]] = {}
+    cache_hits = 0
+    cache_misses = 0
 
-    for prefix in prefix_list:
-        vector: List[Optional[ASPath]] = []
-        for table in tables:
-            attributes = table.get(prefix) if table is not None else None
-            if attributes is None:
-                vector.append(None)
-                continue
-            raw = attributes.as_path
-            cached = normalise_cache.get(raw, _UNSET)
-            if cached is _UNSET:
-                cached = _prepare_path(raw, expand_singleton_sets, strip_prepending)
-                normalise_cache[raw] = cached
-            vector.append(cached)
-        if all(path is None for path in vector):
-            continue  # prefix effectively unseen after normalisation
-        groups[tuple(vector)].append(prefix)
+    tracer = get_tracer()
+    with tracer.span("atoms") as span:
+        for prefix in prefix_list:
+            vector: List[Optional[ASPath]] = []
+            for table in tables:
+                attributes = table.get(prefix) if table is not None else None
+                if attributes is None:
+                    vector.append(None)
+                    continue
+                raw = attributes.as_path
+                cached = normalise_cache.get(raw, _UNSET)
+                if cached is _UNSET:
+                    cached = _prepare_path(raw, expand_singleton_sets, strip_prepending)
+                    normalise_cache[raw] = cached
+                    cache_misses += 1
+                else:
+                    cache_hits += 1
+                vector.append(cached)
+            if all(path is None for path in vector):
+                continue  # prefix effectively unseen after normalisation
+            groups[tuple(vector)].append(prefix)
 
-    atoms = [
-        PolicyAtom(atom_id, frozenset(members), vector)
-        for atom_id, (vector, members) in enumerate(groups.items())
-    ]
+        atoms = [
+            PolicyAtom(atom_id, frozenset(members), vector)
+            for atom_id, (vector, members) in enumerate(groups.items())
+        ]
+        if tracer.enabled:
+            span.set(
+                prefixes=len(prefix_list),
+                vantage_points=len(vantage_points),
+                atoms=len(atoms),
+            )
+            tracer.count("atoms.prefixes", len(prefix_list))
+            tracer.count("atoms.atoms", len(atoms))
+            tracer.count("atoms.normalise_cache_hits", cache_hits)
+            tracer.count("atoms.normalise_cache_misses", cache_misses)
     return AtomSet(atoms, vantage_points, snapshot.timestamp)

@@ -12,11 +12,10 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.bgp.messages import RouteRecord
 from repro.core.atoms import AtomSet
-from repro.net.prefix import Prefix
 
 #: Classification labels.
 EVENT_ATOM = "atom_event"          # a whole atom moved together

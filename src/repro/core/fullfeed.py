@@ -7,7 +7,7 @@ paper infers it: a peer is *full-feed* when it shares data for more than
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.bgp.rib import PeerId, RIBSnapshot
 

@@ -36,6 +36,7 @@ from repro.bgp.rib import PeerId, RIBSnapshot
 from repro.core.atoms import AtomSet, PolicyAtom, _prepare_path
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
+from repro.obs import get_tracer
 
 #: Cache-miss sentinel (normalisation legitimately maps paths to None).
 _UNSET = object()
@@ -239,39 +240,62 @@ class AtomIndex:
 
     def _rebuild(self) -> None:
         """Full recomputation (initial build, VP changes)."""
-        self._keys.clear()
-        self._groups.clear()
-        self._dirty.clear()
-        tables = self._tables()
-        if self._universe is not None:
-            universe: Iterable[Prefix] = self._universe
-        else:
-            seen: Set[Prefix] = set()
-            for table in tables:
-                if table is not None:
-                    seen |= table.prefixes()
-            universe = seen
-        for prefix in universe:
-            key = self._compute_key(prefix, tables)
-            self.stats.key_recomputations += 1
-            if key is not None:
-                self._keys[prefix] = key
-                self._groups.setdefault(key, set()).add(prefix)
-        self.stats.rebuilds += 1
+        tracer = get_tracer()
+        with tracer.span("atoms-rebuild") as span:
+            self._keys.clear()
+            self._groups.clear()
+            self._dirty.clear()
+            tables = self._tables()
+            if self._universe is not None:
+                universe: Iterable[Prefix] = self._universe
+            else:
+                seen: Set[Prefix] = set()
+                for table in tables:
+                    if table is not None:
+                        seen |= table.prefixes()
+                universe = seen
+            recomputed = 0
+            for prefix in universe:
+                key = self._compute_key(prefix, tables)
+                recomputed += 1
+                if key is not None:
+                    self._keys[prefix] = key
+                    self._groups.setdefault(key, set()).add(prefix)
+            self.stats.key_recomputations += recomputed
+            self.stats.rebuilds += 1
+            if tracer.enabled:
+                span.set(
+                    prefixes=recomputed,
+                    groups=len(self._groups),
+                    intern_pool=len(self.pool),
+                )
+                tracer.count("incremental.rebuilds")
+                tracer.count("incremental.key_recomputations", recomputed)
 
     def refresh(self) -> int:
         """Recompute keys for the dirty set; returns its size."""
         if not self._dirty:
             return 0
-        tables = self._tables()
-        dirty = self._dirty
-        self._dirty = set()
-        for prefix in dirty:
-            key = self._compute_key(prefix, tables)
-            self.stats.key_recomputations += 1
-            self._apply_key(prefix, key)
-        self.stats.refreshes += 1
-        self.stats.dirty_sizes.append(len(dirty))
+        tracer = get_tracer()
+        with tracer.span("atoms-refresh") as span:
+            tables = self._tables()
+            dirty = self._dirty
+            self._dirty = set()
+            for prefix in dirty:
+                key = self._compute_key(prefix, tables)
+                self.stats.key_recomputations += 1
+                self._apply_key(prefix, key)
+            self.stats.refreshes += 1
+            self.stats.dirty_sizes.append(len(dirty))
+            if tracer.enabled:
+                span.set(
+                    dirty=len(dirty),
+                    groups=len(self._groups),
+                    intern_pool=len(self.pool),
+                )
+                tracer.count("incremental.refreshes")
+                tracer.count("incremental.dirty_refreshed", len(dirty))
+                tracer.count("incremental.key_recomputations", len(dirty))
         return len(dirty)
 
     # ------------------------------------------------------------------

@@ -24,11 +24,12 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.bgp.messages import ElementType, RouteRecord
+from repro.bgp.messages import RouteRecord
 from repro.bgp.rib import PeerId, RIBSnapshot
 from repro.core.fullfeed import DEFAULT_FULLFEED_RATIO, full_feed_peers
 from repro.net.asn import is_private_asn
 from repro.net.prefix import AF_INET, AF_INET6, Prefix
+from repro.obs import get_tracer
 
 #: Longest prefix kept per family (§2.4.3).
 DEFAULT_MAX_LENGTH = {AF_INET: 24, AF_INET6: 48}
@@ -184,20 +185,25 @@ def sanitize(
     if config is None:
         config = SanitizationConfig()
 
-    audits, kept_records = audit_peers(records)
-    removed = flag_abnormal_peers(audits, config)
+    tracer = get_tracer()
+    with tracer.span("sanitize") as span:
+        audits, kept_records = audit_peers(records)
+        removed = flag_abnormal_peers(audits, config)
 
-    snapshot = RIBSnapshot.from_records(
-        record for record in kept_records if record.peer_asn not in removed
-    )
+        snapshot = RIBSnapshot.from_records(
+            record for record in kept_records if record.peer_asn not in removed
+        )
 
-    vantage_points = full_feed_peers(snapshot, config.fullfeed_ratio)
+        vantage_points = full_feed_peers(snapshot, config.fullfeed_ratio)
 
-    report = SanitizationReport(removed_peers=removed, audits=audits)
-    report.fullfeed_peers = len(vantage_points)
-    report.partial_peers = len(snapshot.peers()) - len(vantage_points)
+        report = SanitizationReport(removed_peers=removed, audits=audits)
+        report.fullfeed_peers = len(vantage_points)
+        report.partial_peers = len(snapshot.peers()) - len(vantage_points)
 
-    prefixes = filter_prefixes(snapshot, config, report)
+        prefixes = filter_prefixes(snapshot, config, report)
+
+        if tracer.enabled:
+            _trace_report(tracer, span, report, audits)
 
     return CleanDataset(
         snapshot=snapshot,
@@ -205,4 +211,36 @@ def sanitize(
         prefixes=prefixes,
         report=report,
         config=config,
+    )
+
+
+def _trace_report(tracer, span, report: SanitizationReport,
+                  audits: Dict[int, PeerAudit]) -> None:
+    """Mirror one sanitize pass's report onto the tracer (obs layer)."""
+    records = sum(audit.records for audit in audits.values())
+    corrupt = sum(audit.corrupt_records for audit in audits.values())
+    span.set(
+        records=records,
+        peers=len(audits),
+        removed_peers=len(report.removed_peers),
+        fullfeed_peers=report.fullfeed_peers,
+        prefixes_kept=report.prefixes_kept,
+    )
+    tracer.count("sanitize.records", records)
+    tracer.count("sanitize.corrupt_records", corrupt)
+    tracer.count("sanitize.peers_audited", len(audits))
+    for reason in sorted(set(report.removed_peers.values())):
+        tracer.count(
+            f"sanitize.removed_peers.{reason}",
+            len(report.removed_by_reason(reason)),
+        )
+    tracer.count("sanitize.fullfeed_peers", report.fullfeed_peers)
+    tracer.count("sanitize.partial_peers", report.partial_peers)
+    tracer.count("sanitize.prefixes_kept", report.prefixes_kept)
+    tracer.count(
+        "sanitize.prefixes_dropped_length", report.prefixes_dropped_length
+    )
+    tracer.count(
+        "sanitize.prefixes_dropped_visibility",
+        report.prefixes_dropped_visibility,
     )

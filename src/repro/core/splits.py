@@ -12,7 +12,7 @@ point selection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.bgp.rib import PeerId
 from repro.core.atoms import AtomSet, PolicyAtom

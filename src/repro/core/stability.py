@@ -9,9 +9,9 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Set, Tuple
 
-from repro.core.atoms import AtomSet, PolicyAtom
+from repro.core.atoms import AtomSet
 from repro.net.prefix import Prefix
 
 

@@ -25,7 +25,7 @@ persist.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.sanitize import SanitizationConfig
 from repro.core.statistics import GeneralStats
@@ -85,7 +85,7 @@ class SnapshotJob:
         """Full ``advance_to`` sequence this job requires."""
         return self.warmup + self.times
 
-    def spec(self) -> Dict[str, object]:
+    def spec(self) -> Dict[str, Any]:
         """Canonical content dict (the cache-key payload)."""
         return {
             "params": asdict(self.params),
@@ -117,23 +117,23 @@ class QuarterResult:
     formation_shares: Dict[int, float]
     formation_shares_no_single: Dict[int, float]
     stability: Dict[str, Tuple[float, float]]
-    feed: Dict[str, object]
+    feed: Dict[str, Any]
     #: sanitization report headline (cmd_atoms output, Table 5 input)
-    report: Dict[str, object] = field(default_factory=dict)
+    report: Dict[str, Any] = field(default_factory=dict)
     update_record_count: int = 0
     #: Pr_full(k) atom curve of the update stream, when computed
     update_pr_full: Dict[int, Optional[float]] = field(default_factory=dict)
     #: raw route records consumed (metrics input)
     record_count: int = 0
     #: incremental-maintenance counters (empty for from-scratch runs)
-    incremental: Dict[str, object] = field(default_factory=dict)
+    incremental: Dict[str, Any] = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
 # JSON round-trip (cache + checkpoint storage format)
 # ----------------------------------------------------------------------
 
-def result_to_payload(result: QuarterResult) -> Dict[str, object]:
+def result_to_payload(result: QuarterResult) -> Dict[str, Any]:
     """``QuarterResult`` -> JSON-safe dict."""
     return {
         "version": RESULT_VERSION,
@@ -156,7 +156,7 @@ def result_to_payload(result: QuarterResult) -> Dict[str, object]:
     }
 
 
-def result_from_payload(payload: Dict[str, object]) -> QuarterResult:
+def result_from_payload(payload: Dict[str, Any]) -> QuarterResult:
     """JSON dict -> ``QuarterResult``; raises on malformed payloads."""
     if payload.get("version") != RESULT_VERSION:
         raise ValueError(f"unsupported result version {payload.get('version')!r}")

@@ -24,9 +24,9 @@ from __future__ import annotations
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, TextIO
+from typing import Any, Callable, Dict, List, Optional, TextIO
 
-Hook = Callable[[str, Dict[str, object]], None]
+Hook = Callable[[str, Dict[str, Any]], None]
 
 SOURCE_COMPUTED = "computed"
 SOURCE_CACHE = "cache"
@@ -45,7 +45,7 @@ class JobMetric:
     records: int = 0
     worker: Optional[int] = None
     #: atom-index maintenance counters ({} when the job ran from scratch)
-    incremental: Dict[str, object] = field(default_factory=dict)
+    incremental: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -59,7 +59,7 @@ class EngineMetrics:
 
     # -- hook protocol --------------------------------------------------
 
-    def __call__(self, event: str, payload: Dict[str, object]) -> None:
+    def __call__(self, event: str, payload: Dict[str, Any]) -> None:
         if event == "sweep_start":
             self.workers = int(payload.get("workers", 1))
             self._sweep_started = time.perf_counter()
@@ -102,7 +102,7 @@ class EngineMetrics:
             return 0.0
         return 1.0 - self.count(SOURCE_COMPUTED) / len(self.jobs)
 
-    def incremental_summary(self) -> Dict[str, object]:
+    def incremental_summary(self) -> Dict[str, Any]:
         """Rollup of atom-index maintenance across jobs that used it.
 
         Empty dict when no recorded job ran in incremental mode.
@@ -131,9 +131,40 @@ class EngineMetrics:
             "seconds_incremental": total("seconds_incremental"),
         }
 
-    def summary(self) -> Dict[str, object]:
-        """The structured rollup (CLI ``--progress`` epilogue, benches)."""
-        busy = sum(job.seconds for job in self.jobs)
+    def worker_summary(self) -> Dict[int, Dict[str, float]]:
+        """Per-worker job counts and busy seconds, computed jobs only.
+
+        Cache and checkpoint hits never occupy a worker — they are
+        answered at submission — so counting their zero-second entries
+        would deflate every per-worker average.
+        """
+        workers: Dict[int, Dict[str, float]] = {}
+        for job in self.jobs:
+            if job.source != SOURCE_COMPUTED or job.worker is None:
+                continue
+            entry = workers.setdefault(
+                int(job.worker), {"jobs": 0, "seconds": 0.0}
+            )
+            entry["jobs"] += 1
+            entry["seconds"] += job.seconds
+        for entry in workers.values():
+            entry["mean_seconds"] = (
+                entry["seconds"] / entry["jobs"] if entry["jobs"] else 0.0
+            )
+        return workers
+
+    def summary(self) -> Dict[str, Any]:
+        """The structured rollup (CLI ``--progress`` epilogue, benches).
+
+        Utilization and per-job averages cover *computed* jobs only:
+        cache/checkpoint hits carry ``seconds == 0`` and would otherwise
+        drag the averages toward zero without representing any worker
+        time (the sweep never scheduled them).
+        """
+        computed_jobs = [
+            job for job in self.jobs if job.source == SOURCE_COMPUTED
+        ]
+        busy = sum(job.seconds for job in computed_jobs)
         utilization = (
             busy / (self.wall_seconds * self.workers)
             if self.wall_seconds > 0 and self.workers > 0
@@ -147,9 +178,13 @@ class EngineMetrics:
             "hit_rate": self.hit_rate,
             "records": sum(job.records for job in self.jobs),
             "busy_seconds": busy,
+            "mean_job_seconds": (
+                busy / len(computed_jobs) if computed_jobs else 0.0
+            ),
             "wall_seconds": self.wall_seconds,
             "workers": self.workers,
             "worker_utilization": min(1.0, utilization),
+            "per_worker": self.worker_summary(),
             "incremental": self.incremental_summary(),
         }
 
@@ -180,7 +215,7 @@ def progress_hook(stream: Optional[TextIO] = None) -> Hook:
     """A hook that narrates engine events as lines on ``stream``."""
     out = stream if stream is not None else sys.stderr
 
-    def hook(event: str, payload: Dict[str, object]) -> None:
+    def hook(event: str, payload: Dict[str, Any]) -> None:
         if event == "sweep_start":
             print(
                 f"[engine] {payload['jobs']} job(s) on "

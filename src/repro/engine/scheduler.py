@@ -30,7 +30,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.engine.cache import ResultCache, job_digest
 from repro.engine.checkpoint import CheckpointLog
@@ -42,9 +42,10 @@ from repro.engine.metrics import (
     EngineMetrics,
     Hook,
 )
+from repro.obs import get_tracer
 
 
-def _timed_execute(job: SnapshotJob) -> Dict[str, object]:
+def _timed_execute(job: SnapshotJob) -> Dict[str, Any]:
     """Pool entry point: execute and wrap with instrumentation."""
     started = time.perf_counter()
     result = execute_snapshot_job(job)
@@ -76,7 +77,7 @@ class ExecutionEngine:
 
     # ------------------------------------------------------------------
 
-    def _emit(self, event: str, payload: Dict[str, object]) -> None:
+    def _emit(self, event: str, payload: Dict[str, Any]) -> None:
         for hook in self._hooks:
             hook(event, payload)
 
@@ -99,6 +100,10 @@ class ExecutionEngine:
             # Mirror cache hits into the checkpoint so a resume works
             # even if the cache is cleared between runs.
             self.checkpoint.record(key, result)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count(f"engine.jobs.{source}")
+            tracer.count("engine.records", result.record_count)
         self._emit(
             "job_done",
             {
@@ -120,45 +125,68 @@ class ExecutionEngine:
         snapshot_jobs = list(snapshot_jobs)
         keys = [job_digest(job) for job in snapshot_jobs]
         started = time.perf_counter()
-        self._emit(
-            "sweep_start",
-            {"jobs": len(snapshot_jobs), "workers": self.jobs},
-        )
+        tracer = get_tracer()
+        with tracer.span(
+            "engine-sweep", jobs=len(snapshot_jobs), workers=self.jobs
+        ):
+            self._emit(
+                "sweep_start",
+                {"jobs": len(snapshot_jobs), "workers": self.jobs},
+            )
 
-        results: List[Optional[QuarterResult]] = [None] * len(snapshot_jobs)
-        restored = self.checkpoint.load() if self.checkpoint is not None else {}
+            results: List[Optional[QuarterResult]] = [None] * len(snapshot_jobs)
+            restored = (
+                self.checkpoint.load() if self.checkpoint is not None else {}
+            )
 
-        pending: List[int] = []
-        for index, (job, key) in enumerate(zip(snapshot_jobs, keys)):
-            if key in restored:
-                results[index] = restored[key]
-                self._finish(index, job, key, restored[key], SOURCE_CHECKPOINT)
-                continue
-            if self.cache is not None:
-                hit = self.cache.get(key)
-                if hit is not None:
-                    results[index] = hit
-                    self._finish(index, job, key, hit, SOURCE_CACHE)
+            pending: List[int] = []
+            for index, (job, key) in enumerate(zip(snapshot_jobs, keys)):
+                if key in restored:
+                    results[index] = restored[key]
+                    tracer.record_span(
+                        "engine-job", 0.0, label=job.label,
+                        source=SOURCE_CHECKPOINT,
+                    )
+                    self._finish(
+                        index, job, key, restored[key], SOURCE_CHECKPOINT
+                    )
                     continue
-            pending.append(index)
+                if self.cache is not None:
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        results[index] = hit
+                        tracer.record_span(
+                            "engine-job", 0.0, label=job.label,
+                            source=SOURCE_CACHE,
+                        )
+                        self._finish(index, job, key, hit, SOURCE_CACHE)
+                        continue
+                pending.append(index)
 
-        if pending:
-            if self.jobs == 1:
-                self._run_serial(snapshot_jobs, keys, results, pending)
-            else:
-                self._run_parallel(snapshot_jobs, keys, results, pending)
+            if pending:
+                if self.jobs == 1:
+                    self._run_serial(snapshot_jobs, keys, results, pending)
+                else:
+                    self._run_parallel(snapshot_jobs, keys, results, pending)
 
-        self._emit("sweep_done", {"seconds": time.perf_counter() - started})
+            self._emit("sweep_done", {"seconds": time.perf_counter() - started})
         return [result for result in results if result is not None]
 
     def _run_serial(self, jobs, keys, results, pending) -> None:
+        tracer = get_tracer()
         for index in pending:
             self._emit(
                 "job_start",
                 {"index": index, "label": jobs[index].label, "key": keys[index]},
             )
             job_started = time.perf_counter()
-            result = execute_snapshot_job(jobs[index])
+            # A real (not record_span) span, so the per-stage spans of
+            # the in-process computation nest beneath the job.
+            with tracer.span(
+                "engine-job", label=jobs[index].label, source=SOURCE_COMPUTED
+            ) as span:
+                result = execute_snapshot_job(jobs[index])
+                span.set(records=result.record_count)
             results[index] = result
             self._finish(
                 index,
@@ -188,12 +216,23 @@ class ExecutionEngine:
                 )
                 futures[pool.submit(_timed_execute, jobs[index])] = index
             outstanding = set(futures)
+            tracer = get_tracer()
             while outstanding:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in done:
                     index = futures[future]
                     payload = future.result()
                     results[index] = payload["result"]
+                    # Worker-side stage spans stay in the worker; the
+                    # job's wall time crosses the pool boundary as a
+                    # plain duration, recorded ending now.
+                    tracer.record_span(
+                        "engine-job",
+                        payload["seconds"],
+                        label=jobs[index].label,
+                        source=SOURCE_COMPUTED,
+                        worker=payload["worker"],
+                    )
                     self._finish(
                         index,
                         jobs[index],

@@ -57,7 +57,7 @@ def _parse_v6(text: str) -> int:
         v4 = _parse_v4(tail)
         text = "{}:{:x}:{:x}".format(head, (v4 >> 16) & 0xFFFF, v4 & 0xFFFF)
         if text.startswith(":") and not text.startswith("::"):
-            raise PrefixError(f"invalid IPv6 with v4 tail")
+            raise PrefixError("invalid IPv6 with v4 tail")
 
     if "::" in text:
         head_text, tail_text = text.split("::")

@@ -9,9 +9,9 @@ radix trie, per address family.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Iterable, Iterator, List, Optional, Set
 
-from repro.net.prefix import AF_INET, AF_INET6, Prefix, aggregate
+from repro.net.prefix import Prefix, aggregate
 from repro.net.trie import PrefixTrie
 
 

@@ -15,9 +15,8 @@ implements the corruptions the paper documents:
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional, Tuple
+from typing import List, Optional
 
-from repro.bgp.attributes import PathAttributes
 from repro.net.aspath import ASPath, PathSegment, SegmentType
 from repro.net.prefix import AF_INET, Prefix
 

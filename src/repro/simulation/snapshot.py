@@ -10,7 +10,6 @@ same shape a BGPStream RIB dump would yield.
 
 from __future__ import annotations
 
-import random
 from collections import defaultdict
 from typing import Dict, Iterator, List, Optional, Tuple
 

@@ -20,10 +20,11 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
-from repro.bgp.messages import RouteElement, RouteRecord
+from repro.bgp.messages import RouteRecord
 from repro.net.prefix import AF_INET
+from repro.obs import traced_records
 from repro.stream.archive import RecordArchive
 from repro.util.dates import parse_utc
 
@@ -103,11 +104,15 @@ class BGPStream:
                     yield record
 
     def records(self) -> Iterator[RouteRecord]:
-        """Stream matching records."""
+        """Stream matching records (a traced ``mrt-decode`` stage)."""
         if isinstance(self.source, RecordArchive):
-            yield from self._from_archive(self.source)
+            yield from traced_records(
+                self._from_archive(self.source), source="archive"
+            )
         elif hasattr(self.source, "rib_records"):
-            yield from self._from_simulator(self.source)
+            yield from traced_records(
+                self._from_simulator(self.source), source="simulated"
+            )
         else:
             raise TypeError(
                 f"unsupported source {type(self.source).__name__}; "

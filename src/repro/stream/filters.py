@@ -14,7 +14,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence, Set
+from typing import Callable, Iterable, Iterator
 
 from repro.bgp.messages import RouteRecord
 from repro.net.prefix import Prefix

@@ -26,6 +26,7 @@ from repro.bgp.attributes import Community, PathAttributes
 from repro.bgp.messages import ElementType, RouteElement, RouteRecord
 from repro.net.aspath import AS_TRANS, ASPath, PathSegment, SegmentType, merge_as4_path
 from repro.net.prefix import AF_INET, AF_INET6, Prefix
+from repro.obs import get_tracer
 
 # MRT types.
 MRT_TABLE_DUMP_V2 = 13
@@ -236,15 +237,45 @@ class MRTReader:
         self.stream = stream
         self.project = project
         self.collector = collector
+        #: raw MRT bytes consumed so far (headers + bodies)
+        self.bytes_read = 0
         self._peers: List[Tuple[int, str]] = []  # (asn, address) by index
 
     def __iter__(self) -> Iterator[RouteRecord]:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            yield from self._decode()
+            return
+        produced = 0
+        corrupt = 0
+        started = self.bytes_read
+        with tracer.span(
+            "mrt-decode", source="mrt", collector=self.collector
+        ) as span:
+            try:
+                for record in self._decode():
+                    produced += 1
+                    if record.is_corrupt:
+                        corrupt += 1
+                    yield record
+            finally:
+                consumed = self.bytes_read - started
+                span.set(
+                    records=produced, corrupt_records=corrupt, bytes=consumed
+                )
+                tracer.count("decode.records", produced)
+                tracer.count("decode.bytes", consumed)
+                if corrupt:
+                    tracer.count("decode.corrupt_records", corrupt)
+
+    def _decode(self) -> Iterator[RouteRecord]:
         while True:
             header = _read_exact(self.stream, 12)
             if header is None:
                 return
             timestamp, mrt_type, subtype, length = struct.unpack(">IHHI", header)
             body = self.stream.read(length)
+            self.bytes_read += 12 + len(body)
             if len(body) != length:
                 raise MRTError("truncated MRT record body")
             if mrt_type == MRT_BGP4MP_ET:

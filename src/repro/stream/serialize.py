@@ -8,7 +8,7 @@ archives are greppable and diffable.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 from repro.bgp.attributes import Community, PathAttributes
 from repro.bgp.messages import ElementType, RouteElement, RouteRecord

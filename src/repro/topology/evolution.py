@@ -15,8 +15,8 @@ a data edit, not a code change.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List
 
 from repro.util.dates import year_fraction
 

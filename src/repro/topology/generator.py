@@ -13,10 +13,10 @@ reused by the evolution model to grow a topology incrementally.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.topology.model import ASGraph, ASNode, Relationship, Tier
+from repro.topology.model import ASGraph, ASNode, Tier
 
 
 @dataclass

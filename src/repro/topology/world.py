@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.bgp.attributes import Community
 from repro.net.prefix import AF_INET, AF_INET6, Prefix
@@ -26,7 +26,7 @@ from repro.topology.evolution import ScaledCounts, WorldParams, YearProfile, pro
 from repro.topology.generator import add_stub_as, add_transit_as, generate_topology, GeneratorParams
 from repro.topology.model import ASGraph, ASNode, Relationship, Tier
 from repro.topology.policies import OriginPolicy, PolicyUnit, TransitPolicy
-from repro.util.dates import DAY, HOUR
+from repro.util.dates import HOUR
 from repro.util.determinism import derive_rng
 
 #: Mechanisms that differentiate a non-base policy unit from its origin's

@@ -1,6 +1,5 @@
 """Focused tests for the trend-series builders on synthetic results."""
 
-import pytest
 
 from repro.analysis.longitudinal import (
     YearResult,

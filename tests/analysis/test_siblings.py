@@ -1,6 +1,5 @@
 """Tests for IPv4/IPv6 sibling-atom matching (paper §7.3)."""
 
-import pytest
 
 from repro.analysis.siblings import (
     dual_stack_origins,

@@ -1,6 +1,5 @@
 """Tests for the BGP decision process."""
 
-import pytest
 
 from repro.bgp.attributes import Origin, PathAttributes
 from repro.bgp.decision import CandidateRoute, best_route, rank_routes

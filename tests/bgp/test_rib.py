@@ -4,7 +4,7 @@ from repro.bgp.attributes import PathAttributes
 from repro.bgp.messages import ElementType, RouteElement, RouteRecord
 from repro.bgp.rib import AdjRIBIn, RIBSnapshot
 from repro.net.aspath import ASPath
-from repro.net.prefix import AF_INET, AF_INET6, Prefix
+from repro.net.prefix import AF_INET6, Prefix
 
 
 def attrs(*asns):

@@ -1,6 +1,5 @@
 """Tests for policy-atom computation on hand-built snapshots."""
 
-import pytest
 
 from repro.bgp.attributes import PathAttributes
 from repro.bgp.messages import ElementType, RouteElement, RouteRecord

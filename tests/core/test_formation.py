@@ -5,7 +5,6 @@ import pytest
 from repro.core.atoms import AtomSet, PolicyAtom
 from repro.core.formation import (
     FORMATION_METHOD_II,
-    FORMATION_METHOD_III,
     NO_SPLIT,
     REASON_PREPEND,
     REASON_SINGLE,

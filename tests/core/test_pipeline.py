@@ -1,6 +1,5 @@
 """Tests for the records-in/atoms-out convenience pipeline."""
 
-import pytest
 
 from repro.bgp.attributes import PathAttributes
 from repro.bgp.messages import ElementType, RouteElement, RouteRecord

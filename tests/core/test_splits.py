@@ -1,6 +1,5 @@
 """Tests for atom-split detection and observer counting."""
 
-import pytest
 
 from repro.core.atoms import AtomSet, PolicyAtom
 from repro.core.splits import (

@@ -10,7 +10,7 @@ from repro.core.stability import (
     maximized_prefix_match,
     stability_pair,
 )
-from repro.net.prefix import AF_INET, Prefix
+from repro.net.prefix import Prefix
 
 VP = [("rrc00", 1, "a")]
 

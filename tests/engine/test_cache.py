@@ -3,7 +3,6 @@
 import dataclasses
 import json
 
-import pytest
 
 from repro.core.sanitize import SanitizationConfig
 from repro.engine.cache import CACHE_SALT, ResultCache, job_digest

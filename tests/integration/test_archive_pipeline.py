@@ -7,7 +7,7 @@ exact same analysis results as the in-memory path.
 import pytest
 
 from repro.core.pipeline import compute_policy_atoms
-from repro.core.update_correlation import GROUP_ATOM, update_correlation
+from repro.core.update_correlation import update_correlation
 from repro.stream.archive import RecordArchive
 from repro.stream.bgpstream import BGPStream
 from repro.stream.filters import apply, by_type, healthy

@@ -1,0 +1,208 @@
+"""Pipeline-level tracing properties.
+
+Two guarantees the observability layer makes:
+
+* tracing is *passive* — a run under a recording :class:`Tracer`
+  produces output identical (byte-identical on the CLI) to the same
+  run under the default :class:`NullTracer`;
+* a traced run's spans form a well-nested tree covering every pipeline
+  stage (``mrt-decode``, ``sanitize``, ``atoms``, ``engine-job``).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.pipeline import compute_policy_atoms
+from repro.obs import Tracer, load_trace, use_tracer, validate_spans
+from repro.simulation.scenario import SimulatedInternet
+from repro.util.dates import parse_utc
+
+from tests.engine.conftest import ENGINE_WORLD
+
+STAMP = parse_utc("2006-04-01 00:00")
+
+TREND_ARGS = [
+    "trend",
+    "--scale", "400",
+    "--peer-scale", "0.03",
+    "--first-year", "2004",
+    "--last-year", "2005",
+    "--step", "1",
+    "--no-stability",
+]
+
+
+def atoms_fingerprint():
+    """One full pipeline pass reduced to comparable plain data."""
+    from repro.stream.bgpstream import BGPStream
+
+    internet = SimulatedInternet(ENGINE_WORLD, start=STAMP)
+    stream = BGPStream(internet, record_type="rib", from_time=STAMP)
+    result = compute_policy_atoms(stream.records())
+    atom_sets = sorted(
+        tuple(sorted(str(p) for p in atom.prefixes)) for atom in result.atoms
+    )
+    report = result.report
+    return (
+        atom_sets,
+        report.fullfeed_peers,
+        report.partial_peers,
+        report.prefixes_kept,
+        report.prefixes_total,
+        dict(report.removed_peers),
+    )
+
+
+class TestTracingIsPassive:
+    def test_traced_pipeline_output_identical(self):
+        """Property: NullTracer and recording Tracer agree exactly."""
+        untraced = atoms_fingerprint()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            traced = atoms_fingerprint()
+        assert traced == untraced
+        # ... and the tracer actually observed the run.
+        assert {s.name for s in tracer.spans} >= {
+            "mrt-decode", "sanitize", "atoms"
+        }
+
+    def test_cli_stdout_byte_identical_with_trace(self, tmp_path, capsys):
+        assert main(TREND_ARGS) == 0
+        plain = capsys.readouterr().out
+        trace_path = tmp_path / "trend.jsonl"
+        assert main(TREND_ARGS + ["--trace", str(trace_path)]) == 0
+        traced = capsys.readouterr().out
+        assert traced == plain
+        assert trace_path.exists()
+
+
+class TestTracedTrendRun:
+    @pytest.fixture(scope="class")
+    def trace(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "trend.jsonl"
+        assert main(TREND_ARGS + ["--trace", str(path)]) == 0
+        return load_trace(path)
+
+    def test_trace_is_valid_jsonl_with_meta(self, trace):
+        assert trace.meta["version"] == 1
+        assert trace.meta["spans"] == len(trace.spans)
+
+    def test_all_pipeline_stages_present(self, trace):
+        names = {span["name"] for span in trace.spans}
+        assert {"mrt-decode", "sanitize", "atoms",
+                "engine-sweep", "engine-job"} <= names
+
+    def test_spans_nest_correctly(self, trace):
+        """Every span closed, end >= start, children inside parents."""
+        assert validate_spans(trace.spans) == []
+
+    def test_parents_close_after_children(self, trace):
+        by_id = {span["id"]: span for span in trace.spans}
+        for span in trace.spans:
+            parent = by_id.get(span["parent"])
+            if parent is None:
+                continue
+            assert parent["end"] >= span["end"]
+            assert parent["start"] <= span["start"]
+
+    def test_stage_counters_recorded(self, trace):
+        for counter in (
+            "decode.records",
+            "sanitize.records",
+            "sanitize.prefixes_kept",
+            "atoms.prefixes",
+            "atoms.atoms",
+            "engine.jobs.computed",
+            "engine.records",
+        ):
+            assert trace.counters.get(counter, 0) > 0, counter
+
+    def test_decode_span_nests_inside_sanitize(self, trace):
+        """The lazily-consumed record stream belongs to its consumer."""
+        by_id = {span["id"]: span for span in trace.spans}
+        decodes = [s for s in trace.spans if s["name"] == "mrt-decode"]
+        assert decodes
+        for span in decodes:
+            assert span["attrs"]["source"] == "simulated"
+            parent = by_id.get(span["parent"])
+            assert parent is not None and parent["name"] == "sanitize"
+
+
+class TestProfileCommand:
+    def test_profile_renders_rollup(self, tmp_path, capsys):
+        trace_path = tmp_path / "trend.jsonl"
+        main(TREND_ARGS + ["--trace", str(trace_path)])
+        capsys.readouterr()
+        assert main(["profile", str(trace_path), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage wall time" in out
+        assert "sanitize" in out
+        assert "decode.records" in out
+
+    def test_profile_rejects_unreadable_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["profile", str(missing)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+
+class TestIngestTracing:
+    def test_archive_read_traced_as_archive_source(self, tmp_path):
+        from repro.stream.archive import RecordArchive
+        from repro.stream.bgpstream import BGPStream
+
+        internet = SimulatedInternet(ENGINE_WORLD, start=STAMP)
+        archive = RecordArchive(tmp_path / "archive")
+        archive.write_dump(internet.rib_records(STAMP), dump_timestamp=STAMP)
+
+        stream = BGPStream(RecordArchive(tmp_path / "archive"),
+                           record_type="rib")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            records = list(stream.records())
+        assert records
+        assert tracer.counters["decode.records"] == len(records)
+        (span,) = [s for s in tracer.spans if s.name == "mrt-decode"]
+        assert span.attrs["source"] == "archive"
+        assert span.attrs["records"] == len(records)
+
+    def test_mrt_binary_read_traces_records_and_bytes(self):
+        """The real MRT decoder counts records, corruption and bytes."""
+        import io
+
+        from repro.bgp.attributes import PathAttributes
+        from repro.net.aspath import ASPath
+        from repro.net.prefix import Prefix
+        from repro.stream.mrt import MRTWriter, read_mrt
+
+        buffer = io.BytesIO()
+        writer = MRTWriter(buffer)
+        writer.write_peer_index([(65001, "10.0.0.1")], timestamp=100)
+        attributes = PathAttributes(ASPath.from_asns([65001, 3257, 65010]))
+        writer.write_rib_entry(
+            Prefix.parse("192.0.2.0/24"),
+            [(65001, "10.0.0.1", attributes)],
+            timestamp=100,
+        )
+        payload = buffer.getvalue()
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            records = list(read_mrt(io.BytesIO(payload)))
+        assert records
+        assert tracer.counters["decode.records"] == len(records)
+        assert tracer.counters["decode.bytes"] == len(payload)
+        (span,) = [s for s in tracer.spans if s.name == "mrt-decode"]
+        assert span.attrs["source"] == "mrt"
+        assert span.attrs["records"] == len(records)
+
+
+def test_trace_file_lines_all_parse(tmp_path):
+    path = tmp_path / "trend.jsonl"
+    main(TREND_ARGS + ["--trace", str(path)])
+    types = set()
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            types.add(json.loads(line)["type"])
+    assert types == {"meta", "span", "counter"}

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix

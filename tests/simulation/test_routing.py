@@ -5,7 +5,6 @@ preference classes, valley-free export, tie-breaking, announcement
 sets, prepending, and tag-based selective export.
 """
 
-import pytest
 
 from repro.bgp.attributes import Community
 from repro.net.prefix import Prefix
@@ -13,7 +12,6 @@ from repro.simulation.routing import (
     CLASS_CUSTOMER,
     CLASS_PEER,
     CLASS_PROVIDER,
-    GraphView,
     PropagationEngine,
     propagate,
 )

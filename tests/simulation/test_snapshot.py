@@ -3,11 +3,9 @@
 import pytest
 
 from repro.bgp.rib import RIBSnapshot
-from repro.net.asn import is_private_asn
-from repro.net.prefix import AF_INET, AF_INET6, Prefix
+from repro.net.prefix import AF_INET6, Prefix
 from repro.simulation.artifacts import LEAKED_PRIVATE_ASN
 from repro.simulation.scenario import SimulatedInternet
-from repro.topology.evolution import WorldParams
 from tests.conftest import TEST_WORLD
 
 

@@ -5,12 +5,10 @@ import io
 import pytest
 
 from repro.bgp.attributes import Community, PathAttributes
-from repro.bgp.messages import ElementType
 from repro.net.aspath import ASPath
 from repro.net.prefix import AF_INET6, Prefix
 from repro.stream.mrt import (
     MRTError,
-    MRTReader,
     MRTWriter,
     _decode_nlri,
     _encode_nlri,

@@ -10,7 +10,6 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.net.prefix import AF_INET, AF_INET6
 from repro.topology.evolution import WorldParams
-from repro.topology.model import Relationship
 from repro.topology.world import World
 from repro.util.dates import utc_timestamp
 
