@@ -1,0 +1,76 @@
+"""MRT decode micro-benchmark.
+
+Measures the binary hot path in isolation: writer-generated MRT bytes
+(TABLE_DUMP_V2 RIB entries and BGP4MP updates) decoded back through
+:class:`MRTReader`.  The decoder's per-record costs — the precompiled
+header struct, ``unpack_from`` field reads and memoryview body slices —
+show up here without simulation noise.
+"""
+
+import io
+
+import pytest
+
+from repro.bgp.attributes import Community, PathAttributes
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.stream.mrt import MRTWriter, read_mrt
+
+PEERS = [(64500 + index, f"192.0.2.{index + 1}") for index in range(8)]
+
+
+def _attributes(seed):
+    path = ASPath.from_asns([
+        64500 + seed % 8, 3257 + seed % 5, 1299, 65000 + seed % 97
+    ])
+    return PathAttributes(
+        path,
+        communities=[Community(3257, seed % 1000)],
+        med=seed % 50,
+    )
+
+
+@pytest.fixture(scope="module")
+def rib_dump():
+    """A TABLE_DUMP_V2 dump: 2000 prefixes, entries at every peer."""
+    buffer = io.BytesIO()
+    writer = MRTWriter(buffer)
+    writer.write_peer_index(PEERS)
+    for index in range(2000):
+        prefix = Prefix.parse(f"10.{index // 256}.{index % 256}.0/24")
+        entries = [
+            (asn, address, _attributes(index + offset))
+            for offset, (asn, address) in enumerate(PEERS)
+        ]
+        writer.write_rib_entry(prefix, entries, sequence=index)
+    return buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def update_stream():
+    """A BGP4MP stream: 5000 single-prefix announcements."""
+    buffer = io.BytesIO()
+    writer = MRTWriter(buffer)
+    for index in range(5000):
+        asn, address = PEERS[index % len(PEERS)]
+        prefix = Prefix.parse(f"10.{index // 256}.{index % 256}.0/24")
+        writer.write_update(
+            asn, address, [(prefix, _attributes(index))], timestamp=index
+        )
+    return buffer.getvalue()
+
+
+def test_perf_decode_rib_dump(benchmark, rib_dump):
+    def decode():
+        return sum(1 for _ in read_mrt(io.BytesIO(rib_dump)))
+
+    count = benchmark.pedantic(decode, rounds=3, iterations=1)
+    assert count == 2000 * len(PEERS)
+
+
+def test_perf_decode_updates(benchmark, update_stream):
+    def decode():
+        return sum(1 for _ in read_mrt(io.BytesIO(update_stream)))
+
+    count = benchmark.pedantic(decode, rounds=3, iterations=1)
+    assert count == 5000

@@ -9,6 +9,8 @@ import pytest
 
 from benchmarks.conftest import SNAPSHOT_WORLD
 from repro.core.atoms import compute_atoms
+from repro.core.intern import PathInternPool
+from repro.core.kernel import columnar_atoms, compute_atoms_reference
 from repro.core.sanitize import sanitize
 from repro.core.stability import maximized_prefix_match
 from repro.simulation.routing import propagate
@@ -60,6 +62,63 @@ def test_perf_atom_computation(benchmark, perf_world):
         iterations=1,
     )
     assert len(atoms) > 0
+
+
+def test_perf_atom_reference_legacy(benchmark, perf_world):
+    """The pre-kernel tuple-of-objects implementation, as the baseline."""
+    _, _, dataset, _ = perf_world
+    atoms = benchmark.pedantic(
+        compute_atoms_reference,
+        args=(dataset.snapshot,),
+        kwargs={
+            "vantage_points": dataset.vantage_points,
+            "prefixes": dataset.prefixes,
+        },
+        rounds=3,
+        iterations=1,
+    )
+    assert len(atoms) > 0
+
+
+def test_perf_atom_kernel_warm_pool(benchmark, perf_world):
+    """The kernel with a shared intern pool — how sweeps actually run:
+    :class:`LongitudinalStudy` feeds every snapshot through one pool."""
+    _, _, dataset, _ = perf_world
+    pool = PathInternPool()
+    columnar_atoms(  # prime the pool, as a sweep's first snapshot would
+        dataset.snapshot,
+        vantage_points=dataset.vantage_points,
+        prefixes=dataset.prefixes,
+        pool=pool,
+    )
+    atoms = benchmark.pedantic(
+        columnar_atoms,
+        args=(dataset.snapshot,),
+        kwargs={
+            "vantage_points": dataset.vantage_points,
+            "prefixes": dataset.prefixes,
+            "pool": pool,
+        },
+        rounds=3,
+        iterations=1,
+    )
+    assert len(atoms) > 0
+
+
+def test_kernel_parity_with_reference(perf_world):
+    """Not a timing — the gate: kernel output identical to legacy."""
+    _, _, dataset, _ = perf_world
+    kwargs = {
+        "vantage_points": dataset.vantage_points,
+        "prefixes": dataset.prefixes,
+    }
+    reference = compute_atoms_reference(dataset.snapshot, **kwargs)
+    kernel = columnar_atoms(dataset.snapshot, **kwargs)
+    assert len(kernel) == len(reference)
+    for ours, theirs in zip(kernel, reference):
+        assert ours.atom_id == theirs.atom_id
+        assert ours.prefixes == theirs.prefixes
+        assert ours.paths == theirs.paths
 
 
 def test_perf_stability_matching(benchmark, perf_world):

@@ -17,6 +17,7 @@ from repro.core.atoms import AtomSet
 from repro.core.formation import FormationResult, formation_distances
 from repro.core.fullfeed import feed_summary
 from repro.core.incremental import AtomIndex
+from repro.core.intern import PathInternPool
 from repro.core.pipeline import AtomComputation, compute_policy_atoms
 from repro.core.sanitize import SanitizationConfig, sanitize
 from repro.core.stability import stability_pair
@@ -125,6 +126,15 @@ class LongitudinalStudy:
         #: instead of recomputing from scratch (value-identical output)
         self.incremental = incremental
         self._index: Optional[AtomIndex] = None
+        #: study-lifetime intern pool: consecutive snapshots share most
+        #: of their paths, so each normalised path is interned (and
+        #: hashed) once for the whole sweep
+        self._pool: Optional[PathInternPool] = None
+
+    def _ensure_pool(self) -> PathInternPool:
+        if self._pool is None:
+            self._pool = PathInternPool()
+        return self._pool
 
     # ------------------------------------------------------------------
     # Engine submission
@@ -179,7 +189,9 @@ class LongitudinalStudy:
             self.simulator.rib_records(when, family=self.family),
             source="simulated",
         )
-        return compute_policy_atoms(records, config=self.sanitization)
+        return compute_policy_atoms(
+            records, config=self.sanitization, pool=self._ensure_pool()
+        )
 
     def _compute_incremental(self, when: int) -> Tuple[AtomComputation, str]:
         """One instant through the :class:`AtomIndex`.
@@ -211,7 +223,7 @@ class LongitudinalStudy:
                 dataset.snapshot.copy(),
                 vantage_points=dataset.vantage_points,
                 prefixes=dataset.prefixes,
-                pool=index.pool if index is not None else None,
+                pool=index.pool if index is not None else self._ensure_pool(),
                 stats=index.stats if index is not None else None,
             )
             self._index = index

@@ -82,6 +82,10 @@ def _add_engine_options(parser: argparse.ArgumentParser,
                         with_checkpoint: bool = False) -> None:
     parser.add_argument("--jobs", type=_positive_int, default=1,
                         help="worker processes (default: 1, serial)")
+    parser.add_argument("--batch", type=_positive_int, default=1,
+                        help="jobs per pool task on parallel runs "
+                             "(default: 1); batching amortizes per-task "
+                             "pickling without changing results")
     parser.add_argument("--progress", action="store_true",
                         help="narrate per-job progress and a metrics "
                              "summary on stderr")
@@ -106,6 +110,7 @@ def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
     """An :class:`ExecutionEngine` configured from the CLI flags."""
     return ExecutionEngine(
         jobs=args.jobs,
+        batch=args.batch,
         cache=ResultCache(args.cache_dir) if args.cache_dir else None,
         checkpoint=(
             CheckpointLog(args.checkpoint)

@@ -20,7 +20,9 @@ from repro.core.formation import (
     formation_distances,
 )
 from repro.core.fullfeed import full_feed_peers, full_feed_threshold
-from repro.core.incremental import AtomIndex, IncrementalStats, PathInternPool
+from repro.core.incremental import AtomIndex, IncrementalStats
+from repro.core.intern import PathInternPool, pack_key, unpack_key
+from repro.core.kernel import compute_atoms_reference
 from repro.core.moas import moas_prefixes, moas_share
 from repro.core.pipeline import AtomComputation, compute_policy_atoms
 from repro.core.sanitize import (
@@ -56,6 +58,7 @@ __all__ = [
     "classify_updates",
     "complete_atom_match",
     "compute_atoms",
+    "compute_atoms_reference",
     "compute_policy_atoms",
     "detect_splits",
     "formation_distances",
@@ -65,7 +68,9 @@ __all__ = [
     "maximized_prefix_match",
     "moas_prefixes",
     "moas_share",
+    "pack_key",
     "sanitize",
+    "unpack_key",
     "update_correlation",
     "visibility_report",
 ]

@@ -6,20 +6,38 @@ Prefixes absent from a vantage point's table carry an "empty" path
 there, so a prefix missing at any VP can only group with prefixes
 missing at the same VPs (§2.3).
 
-``compute_atoms`` implements the definition directly: each prefix's key
-is its path vector across the ordered vantage-point list, and atoms are
-the equivalence classes of that key.
+``compute_atoms`` implements the definition: each prefix's key is its
+path vector across the ordered vantage-point list, and atoms are the
+equivalence classes of that key.  The grouping itself runs through the
+columnar kernel (:mod:`repro.core.kernel`): paths are interned to dense
+ids and each prefix's id vector packed into a fixed-width bytes key, so
+the hot dict pass hashes compact byte strings instead of tuples of
+:class:`~repro.net.aspath.ASPath` objects.  Output is value-identical
+to the direct implementation (kept as
+:func:`~repro.core.kernel.compute_atoms_reference`), atom ids included.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.bgp.rib import PeerId, RIBSnapshot
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
-from repro.obs import get_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.intern import PathInternPool
 
 
 class PolicyAtom:
@@ -81,6 +99,9 @@ class AtomSet:
         for atom in atoms:
             for prefix in atom.prefixes:
                 self.by_prefix[prefix] = atom
+        #: lazily built atoms_by_origin() result; AtomSet is immutable
+        #: after construction, so the grouping never goes stale
+        self._by_origin: Optional[Dict[int, List[PolicyAtom]]] = None
 
     def __len__(self) -> int:
         return len(self.atoms)
@@ -98,12 +119,20 @@ class AtomSet:
 
     def atoms_by_origin(self) -> Dict[int, List[PolicyAtom]]:
         """Atoms grouped by (unique) origin AS; MOAS atoms appear under
-        each of their origins, matching the paper's per-origin analyses."""
-        grouped: Dict[int, List[PolicyAtom]] = defaultdict(list)
-        for atom in self.atoms:
-            for origin in atom.origins():
-                grouped[origin].append(atom)
-        return dict(grouped)
+        each of their origins, matching the paper's per-origin analyses.
+
+        Memoised: the grouping walks every atom's path vector, several
+        per-origin analyses (``origin_count`` included) call it
+        repeatedly, and the atom set never changes after construction.
+        Callers share one dict — treat it as read-only.
+        """
+        if self._by_origin is None:
+            grouped: Dict[int, List[PolicyAtom]] = defaultdict(list)
+            for atom in self.atoms:
+                for origin in atom.origins():
+                    grouped[origin].append(atom)
+            self._by_origin = dict(grouped)
+        return self._by_origin
 
     def origin_count(self) -> int:
         """Number of distinct origin ASes."""
@@ -122,10 +151,6 @@ class AtomSet:
             f"AtomSet({len(self.atoms)} atoms, {self.prefix_count()} prefixes, "
             f"{len(self.vantage_points)} VPs)"
         )
-
-
-#: Cache-miss sentinel: normalisation legitimately maps paths to None.
-_UNSET = object()
 
 
 def _prepare_path(path: Optional[ASPath], expand_singletons: bool,
@@ -148,6 +173,7 @@ def compute_atoms(
     prefixes: Optional[Iterable[Prefix]] = None,
     expand_singleton_sets: bool = True,
     strip_prepending: bool = False,
+    pool: Optional["PathInternPool"] = None,
 ) -> AtomSet:
     """Group prefixes into policy atoms.
 
@@ -167,67 +193,19 @@ def compute_atoms(
         Remove prepending *before* grouping — formation-distance method
         (i), kept for the Figure 1 comparison.  The paper's method (iii)
         groups on raw paths (the default).
+    pool:
+        Optional shared :class:`~repro.core.intern.PathInternPool`;
+        successive snapshots fed through one pool intern (and hash)
+        each normalised path once for the pool's lifetime.  Its
+        normalisation options must match the keyword flags.
     """
-    if vantage_points is None:
-        vantage_points = sorted(snapshot.peers())
-    else:
-        vantage_points = list(vantage_points)
+    from repro.core.kernel import columnar_atoms
 
-    if prefixes is None:
-        universe: Set[Prefix] = set()
-        for peer_id in vantage_points:
-            table = snapshot.table(peer_id)
-            if table is not None:
-                universe |= table.prefixes()
-        prefix_list = sorted(universe, key=Prefix.key)
-    else:
-        prefix_list = sorted(set(prefixes), key=Prefix.key)
-
-    # Path vector per prefix.  ASPath objects are shared across prefixes
-    # of a unit, so the per-prefix key is a tuple of references.  The
-    # normalisation cache is keyed on the (hashable) ASPath itself:
-    # keying on id() would go stale if attribute objects were ever built
-    # on access (ids are reused after gc), and cost two lookups per hit.
-    tables = [snapshot.table(peer_id) for peer_id in vantage_points]
-    groups: Dict[Tuple, List[Prefix]] = defaultdict(list)
-    normalise_cache: Dict[ASPath, Optional[ASPath]] = {}
-    cache_hits = 0
-    cache_misses = 0
-
-    tracer = get_tracer()
-    with tracer.span("atoms") as span:
-        for prefix in prefix_list:
-            vector: List[Optional[ASPath]] = []
-            for table in tables:
-                attributes = table.get(prefix) if table is not None else None
-                if attributes is None:
-                    vector.append(None)
-                    continue
-                raw = attributes.as_path
-                cached = normalise_cache.get(raw, _UNSET)
-                if cached is _UNSET:
-                    cached = _prepare_path(raw, expand_singleton_sets, strip_prepending)
-                    normalise_cache[raw] = cached
-                    cache_misses += 1
-                else:
-                    cache_hits += 1
-                vector.append(cached)
-            if all(path is None for path in vector):
-                continue  # prefix effectively unseen after normalisation
-            groups[tuple(vector)].append(prefix)
-
-        atoms = [
-            PolicyAtom(atom_id, frozenset(members), vector)
-            for atom_id, (vector, members) in enumerate(groups.items())
-        ]
-        if tracer.enabled:
-            span.set(
-                prefixes=len(prefix_list),
-                vantage_points=len(vantage_points),
-                atoms=len(atoms),
-            )
-            tracer.count("atoms.prefixes", len(prefix_list))
-            tracer.count("atoms.atoms", len(atoms))
-            tracer.count("atoms.normalise_cache_hits", cache_hits)
-            tracer.count("atoms.normalise_cache_misses", cache_misses)
-    return AtomSet(atoms, vantage_points, snapshot.timestamp)
+    return columnar_atoms(
+        snapshot,
+        vantage_points=vantage_points,
+        prefixes=prefixes,
+        expand_singleton_sets=expand_singleton_sets,
+        strip_prepending=strip_prepending,
+        pool=pool,
+    )

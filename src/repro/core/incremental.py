@@ -11,7 +11,8 @@ path-vector key of every prefix, collects the *dirty* prefix set from
 is applied, and on :meth:`refresh` recomputes keys only for dirty
 prefixes, repairing the affected equivalence classes in place.
 
-Interning (:class:`PathInternPool`) gives two properties the hot path
+Interning (:class:`~repro.core.intern.PathInternPool`, shared with the
+columnar :mod:`~repro.core.kernel`) gives two properties the hot path
 leans on:
 
 * a normalised path or a path vector hashes **once**, when first seen;
@@ -33,60 +34,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.bgp.messages import RouteRecord
 from repro.bgp.rib import PeerId, RIBSnapshot
-from repro.core.atoms import AtomSet, PolicyAtom, _prepare_path
+from repro.core.atoms import AtomSet, PolicyAtom
+from repro.core.intern import PathInternPool
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
 from repro.obs import get_tracer
 
-#: Cache-miss sentinel (normalisation legitimately maps paths to None).
-_UNSET = object()
-
-
-class PathInternPool:
-    """Interns normalised :class:`ASPath` objects and path-vector tuples.
-
-    ``path(raw)`` maps a raw attribute path to its canonical normalised
-    instance (or None when normalisation drops the route); equal raw
-    paths — even distinct objects — share one result.  ``vector(parts)``
-    maps a path-vector tuple to its canonical instance.  Both therefore
-    hash any given key once; afterwards identity stands in for equality.
-    """
-
-    __slots__ = ("expand_singleton_sets", "strip_prepending",
-                 "_by_raw", "_canonical", "_vectors")
-
-    def __init__(self, expand_singleton_sets: bool = True,
-                 strip_prepending: bool = False):
-        self.expand_singleton_sets = expand_singleton_sets
-        self.strip_prepending = strip_prepending
-        #: raw path -> normalised path (or None): the normalisation cache
-        self._by_raw: Dict[ASPath, Optional[ASPath]] = {}
-        #: normalised path -> canonical instance (value-level interning)
-        self._canonical: Dict[ASPath, ASPath] = {}
-        #: vector tuple -> canonical instance
-        self._vectors: Dict[Tuple, Tuple] = {}
-
-    def path(self, raw: Optional[ASPath]) -> Optional[ASPath]:
-        """The canonical normalised path for ``raw`` (None drops it)."""
-        if raw is None:
-            return None
-        cached = self._by_raw.get(raw, _UNSET)
-        if cached is _UNSET:
-            cached = _prepare_path(
-                raw, self.expand_singleton_sets, self.strip_prepending
-            )
-            if cached is not None:
-                cached = self._canonical.setdefault(cached, cached)
-            self._by_raw[raw] = cached
-        return cached
-
-    def vector(self, parts: Sequence[Optional[ASPath]]) -> Tuple:
-        """The canonical tuple instance for this path vector."""
-        vector = tuple(parts)
-        return self._vectors.setdefault(vector, vector)
-
-    def __len__(self) -> int:
-        return len(self._by_raw)
+__all__ = ["AtomIndex", "IncrementalStats", "PathInternPool"]
 
 
 @dataclass

@@ -1,0 +1,172 @@
+"""Shared path interning: canonical normalised paths, dense ids, packed keys.
+
+Every consumer of AS-path equality — :func:`~repro.core.atoms.compute_atoms`
+(via the columnar kernel), the incremental :class:`~repro.core.incremental.AtomIndex`,
+and the stability metrics that compare the resulting atom sets — pays for
+hashing the same normalised :class:`~repro.net.aspath.ASPath` values over
+and over unless the work is shared.  :class:`PathInternPool` centralises
+that work:
+
+* ``path(raw)`` maps a raw attribute path to its canonical normalised
+  instance (or None when normalisation drops the route, §2.4.4); equal
+  raw paths — even distinct objects — share one result, so afterwards
+  identity stands in for equality;
+* ``path_id(raw)`` goes one step further and maps the canonical path to
+  a **dense integer id**.  Id :data:`ABSENT_ID` (0) is reserved for
+  "absent": a prefix unseen at a vantage point and a path normalisation
+  removed both map to 0, exactly the two cases the atom definition
+  treats as "no route" (§2.3);
+* ``vector(parts)`` interns whole path-vector tuples (the
+  :class:`AtomIndex` key representation).
+
+Dense ids enable the columnar kernel's *packed keys*: a prefix's path
+vector across the ordered vantage-point list becomes an
+``array('I')``-backed fixed-width byte string (:func:`pack_key`), so
+grouping a snapshot into atoms is one dict pass over compact bytes
+objects — hashed and compared in C — instead of per-prefix tuples of
+Python objects.  :func:`unpack_key` restores the id vector and
+:meth:`PathInternPool.path_for_id` the canonical paths, so nothing is
+lossy: packed-key equality holds exactly when the normalised path
+vectors are equal (fuzz-tested in ``tests/core/test_intern.py``).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import atoms as _atoms
+from repro.net.aspath import ASPath
+
+#: The reserved path id meaning "no route at this vantage point".
+ABSENT_ID = 0
+
+#: ``array`` typecode backing packed keys: a fixed-width unsigned int.
+#: ``"I"`` is 4 bytes on every mainstream platform; fall back to ``"L"``
+#: should a platform make it narrower (ids must not overflow).
+ID_TYPECODE = "I" if array("I").itemsize >= 4 else "L"
+
+#: Bytes per path id inside a packed key.
+KEY_WIDTH = array(ID_TYPECODE).itemsize
+
+#: Cache-miss sentinel (normalisation legitimately maps paths to None).
+_UNSET = object()
+
+
+def pack_key(ids: Sequence[int]) -> bytes:
+    """Pack a path-id vector into its fixed-width bytes key."""
+    return array(ID_TYPECODE, ids).tobytes()
+
+
+def unpack_key(key: bytes) -> Tuple[int, ...]:
+    """Restore the path-id vector behind a packed key."""
+    ids = array(ID_TYPECODE)
+    ids.frombytes(key)
+    return tuple(ids)
+
+
+class PathInternPool:
+    """Interns normalised :class:`ASPath` objects, dense ids and vectors.
+
+    ``path(raw)`` maps a raw attribute path to its canonical normalised
+    instance (or None when normalisation drops the route); equal raw
+    paths — even distinct objects — share one result.  ``path_id(raw)``
+    maps it to a dense integer id with 0 reserved for "absent".
+    ``vector(parts)`` maps a path-vector tuple to its canonical
+    instance.  All three therefore hash any given key once; afterwards
+    identity (or a small-int comparison) stands in for equality.
+
+    Ids are assigned in first-seen order and are **stable for the
+    lifetime of the pool**: feeding successive snapshots through one
+    pool keeps every already-seen path's id fixed, which is what lets
+    packed keys be compared across snapshots without re-hashing.
+    """
+
+    __slots__ = ("expand_singleton_sets", "strip_prepending",
+                 "_by_raw", "_canonical", "_vectors",
+                 "_id_by_raw", "_id_by_path", "_path_table")
+
+    def __init__(self, expand_singleton_sets: bool = True,
+                 strip_prepending: bool = False):
+        self.expand_singleton_sets = expand_singleton_sets
+        self.strip_prepending = strip_prepending
+        #: raw path -> normalised path (or None): the normalisation cache
+        self._by_raw: Dict[ASPath, Optional[ASPath]] = {}
+        #: normalised path -> canonical instance (value-level interning)
+        self._canonical: Dict[ASPath, ASPath] = {}
+        #: vector tuple -> canonical instance
+        self._vectors: Dict[Tuple, Tuple] = {}
+        #: raw path -> dense id (ABSENT_ID for dropped paths)
+        self._id_by_raw: Dict[ASPath, int] = {}
+        #: canonical path -> dense id
+        self._id_by_path: Dict[ASPath, int] = {}
+        #: id -> canonical path; slot 0 is the absent sentinel
+        self._path_table: List[Optional[ASPath]] = [None]
+
+    # ------------------------------------------------------------------
+    # Canonical instances
+    # ------------------------------------------------------------------
+
+    def path(self, raw: Optional[ASPath]) -> Optional[ASPath]:
+        """The canonical normalised path for ``raw`` (None drops it)."""
+        if raw is None:
+            return None
+        cached = self._by_raw.get(raw, _UNSET)
+        if cached is _UNSET:
+            # Late-bound module attribute, so tests patching
+            # ``atoms._prepare_path`` observe the pool's misses too.
+            cached = _atoms._prepare_path(
+                raw, self.expand_singleton_sets, self.strip_prepending
+            )
+            if cached is not None:
+                cached = self._canonical.setdefault(cached, cached)
+            self._by_raw[raw] = cached
+        return cached  # type: ignore[return-value]
+
+    def vector(self, parts: Sequence[Optional[ASPath]]) -> Tuple:
+        """The canonical tuple instance for this path vector."""
+        vector = tuple(parts)
+        return self._vectors.setdefault(vector, vector)
+
+    # ------------------------------------------------------------------
+    # Dense ids
+    # ------------------------------------------------------------------
+
+    def path_id(self, raw: Optional[ASPath]) -> int:
+        """The dense id of ``raw``'s normalised path (0 when absent/dropped)."""
+        if raw is None:
+            return ABSENT_ID
+        pid = self._id_by_raw.get(raw)
+        if pid is None:
+            path = self.path(raw)
+            if path is None:
+                pid = ABSENT_ID
+            else:
+                pid = self._id_by_path.get(path)
+                if pid is None:
+                    pid = len(self._path_table)
+                    self._id_by_path[path] = pid
+                    self._path_table.append(path)
+            self._id_by_raw[raw] = pid
+        return pid
+
+    def path_for_id(self, pid: int) -> Optional[ASPath]:
+        """The canonical path behind a dense id (None for :data:`ABSENT_ID`)."""
+        return self._path_table[pid]
+
+    @property
+    def path_table(self) -> List[Optional[ASPath]]:
+        """Id-indexed table of canonical paths (slot 0 is None).
+
+        Exposed for the columnar kernel's vector reconstruction; treat
+        as read-only.
+        """
+        return self._path_table
+
+    @property
+    def id_count(self) -> int:
+        """Distinct interned paths plus the absent sentinel."""
+        return len(self._path_table)
+
+    def __len__(self) -> int:
+        return len(self._by_raw)

@@ -11,6 +11,7 @@ from typing import Iterable, Optional
 
 from repro.bgp.messages import RouteRecord
 from repro.core.atoms import AtomSet, compute_atoms
+from repro.core.intern import PathInternPool
 from repro.core.sanitize import CleanDataset, SanitizationConfig, sanitize
 
 
@@ -34,12 +35,15 @@ def compute_policy_atoms(
     records: Iterable[RouteRecord],
     config: Optional[SanitizationConfig] = None,
     strip_prepending: bool = False,
+    pool: Optional[PathInternPool] = None,
 ) -> AtomComputation:
     """Sanitize raw RIB records and compute policy atoms.
 
     ``strip_prepending`` switches to formation-distance method (i)
     grouping (prepending removed before atoms are formed); leave False
-    for the paper's adopted method.
+    for the paper's adopted method.  ``pool`` optionally shares a
+    :class:`~repro.core.intern.PathInternPool` across calls so
+    successive snapshots intern each normalised path once.
     """
     dataset = sanitize(records, config)
     atoms = compute_atoms(
@@ -47,5 +51,6 @@ def compute_policy_atoms(
         vantage_points=dataset.vantage_points,
         prefixes=dataset.prefixes,
         strip_prepending=strip_prepending,
+        pool=pool,
     )
     return AtomComputation(atoms=atoms, dataset=dataset)

@@ -12,7 +12,6 @@ from collections import defaultdict
 from typing import Dict, Set, Tuple
 
 from repro.core.atoms import AtomSet
-from repro.net.prefix import Prefix
 
 
 def complete_atom_match(first: AtomSet, second: AtomSet) -> float:
@@ -33,14 +32,15 @@ def greedy_atom_mapping(first: AtomSet, second: AtomSet) -> Dict[int, int]:
     paper describes.  Ties break deterministically by atom ids.
     """
     overlap: Dict[Tuple[int, int], int] = defaultdict(int)
-    by_prefix_second: Dict[Prefix, int] = {
-        prefix: atom.atom_id for atom in second for prefix in atom.prefixes
-    }
+    # AtomSet builds its prefix -> atom index at construction; reusing
+    # it means the O(prefixes) lookup table hashes each prefix once per
+    # snapshot lifetime instead of once per stability comparison.
+    by_prefix_second = second.by_prefix
     for atom in first:
         for prefix in atom.prefixes:
             target = by_prefix_second.get(prefix)
             if target is not None:
-                overlap[(atom.atom_id, target)] += 1
+                overlap[(atom.atom_id, target.atom_id)] += 1
 
     pairs = sorted(
         overlap.items(), key=lambda item: (-item[1], item[0][0], item[0][1])

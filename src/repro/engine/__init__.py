@@ -21,15 +21,17 @@ from repro.engine.jobs import (
     SnapshotJob,
     build_jobs,
     clear_worker_state,
+    execute_snapshot_batch,
     execute_snapshot_job,
     suite_times,
 )
 from repro.engine.metrics import EngineMetrics, JobMetric, progress_hook
-from repro.engine.scheduler import ExecutionEngine
+from repro.engine.scheduler import EngineError, ExecutionEngine
 
 __all__ = [
     "CACHE_SALT",
     "CheckpointLog",
+    "EngineError",
     "EngineMetrics",
     "ExecutionEngine",
     "JobMetric",
@@ -38,6 +40,7 @@ __all__ = [
     "SnapshotJob",
     "build_jobs",
     "clear_worker_state",
+    "execute_snapshot_batch",
     "execute_snapshot_job",
     "job_digest",
     "progress_hook",

@@ -34,7 +34,13 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.engine.cache import ResultCache, job_digest
 from repro.engine.checkpoint import CheckpointLog
-from repro.engine.jobs import QuarterResult, SnapshotJob, execute_snapshot_job
+from repro.engine.jobs import (
+    QuarterResult,
+    SnapshotJob,
+    execute_snapshot_batch,
+    execute_snapshot_job,
+    result_from_payload,
+)
 from repro.engine.metrics import (
     SOURCE_CACHE,
     SOURCE_CHECKPOINT,
@@ -45,15 +51,8 @@ from repro.engine.metrics import (
 from repro.obs import get_tracer
 
 
-def _timed_execute(job: SnapshotJob) -> Dict[str, Any]:
-    """Pool entry point: execute and wrap with instrumentation."""
-    started = time.perf_counter()
-    result = execute_snapshot_job(job)
-    return {
-        "result": result,
-        "seconds": time.perf_counter() - started,
-        "worker": os.getpid(),
-    }
+class EngineError(RuntimeError):
+    """A sweep failed to produce a result for every submitted job."""
 
 
 class ExecutionEngine:
@@ -66,10 +65,16 @@ class ExecutionEngine:
         checkpoint: Optional[CheckpointLog] = None,
         hooks: Sequence[Hook] = (),
         metrics: Optional[EngineMetrics] = None,
+        batch: int = 1,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
         self.jobs = jobs
+        #: jobs per pool task on the parallel path; >1 amortizes task
+        #: pickling/IPC over chronological chunks (serial runs ignore it)
+        self.batch = batch
         self.cache = cache
         self.checkpoint = checkpoint
         self.metrics = metrics if metrics is not None else EngineMetrics()
@@ -131,7 +136,11 @@ class ExecutionEngine:
         ):
             self._emit(
                 "sweep_start",
-                {"jobs": len(snapshot_jobs), "workers": self.jobs},
+                {
+                    "jobs": len(snapshot_jobs),
+                    "workers": self.jobs,
+                    "batch": self.batch,
+                },
             )
 
             results: List[Optional[QuarterResult]] = [None] * len(snapshot_jobs)
@@ -169,6 +178,19 @@ class ExecutionEngine:
                 else:
                     self._run_parallel(snapshot_jobs, keys, results, pending)
 
+            missing = [
+                snapshot_jobs[index].label or f"job #{index}"
+                for index, result in enumerate(results)
+                if result is None
+            ]
+            if missing:
+                # Never hand back fewer results than jobs: a silent gap
+                # (incomplete checkpoint restore, a worker that produced
+                # nothing) would skew every downstream trend series.
+                raise EngineError(
+                    f"sweep produced no result for {len(missing)} of "
+                    f"{len(snapshot_jobs)} job(s): {', '.join(missing)}"
+                )
             self._emit("sweep_done", {"seconds": time.perf_counter() - started})
         return [result for result in results if result is not None]
 
@@ -203,42 +225,52 @@ class ExecutionEngine:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # Chronological submission order matters: it lets each
             # worker's cached world advance monotonically through the
-            # sweep instead of rebuilding per job.
-            futures = {}
-            for index in pending:
-                self._emit(
-                    "job_start",
-                    {
-                        "index": index,
-                        "label": jobs[index].label,
-                        "key": keys[index],
-                    },
+            # sweep instead of rebuilding per job.  Batching preserves
+            # it — chunks are consecutive runs of the pending list, so
+            # a chunk's jobs share one worker's world back to back.
+            futures: Dict[Any, List[int]] = {}
+            for chunk_start in range(0, len(pending), self.batch):
+                chunk = pending[chunk_start:chunk_start + self.batch]
+                for index in chunk:
+                    self._emit(
+                        "job_start",
+                        {
+                            "index": index,
+                            "label": jobs[index].label,
+                            "key": keys[index],
+                        },
+                    )
+                future = pool.submit(
+                    execute_snapshot_batch, [jobs[index] for index in chunk]
                 )
-                futures[pool.submit(_timed_execute, jobs[index])] = index
+                futures[future] = chunk
             outstanding = set(futures)
             tracer = get_tracer()
             while outstanding:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in done:
-                    index = futures[future]
+                    chunk = futures[future]
                     payload = future.result()
-                    results[index] = payload["result"]
-                    # Worker-side stage spans stay in the worker; the
-                    # job's wall time crosses the pool boundary as a
-                    # plain duration, recorded ending now.
-                    tracer.record_span(
-                        "engine-job",
-                        payload["seconds"],
-                        label=jobs[index].label,
-                        source=SOURCE_COMPUTED,
-                        worker=payload["worker"],
-                    )
-                    self._finish(
-                        index,
-                        jobs[index],
-                        keys[index],
-                        payload["result"],
-                        SOURCE_COMPUTED,
-                        seconds=payload["seconds"],
-                        worker=payload["worker"],
-                    )
+                    worker = payload["worker"]
+                    for index, item in zip(chunk, payload["items"]):
+                        result = result_from_payload(item["payload"])
+                        results[index] = result
+                        # Worker-side stage spans stay in the worker;
+                        # the job's wall time crosses the pool boundary
+                        # as a plain duration, recorded ending now.
+                        tracer.record_span(
+                            "engine-job",
+                            item["seconds"],
+                            label=jobs[index].label,
+                            source=SOURCE_COMPUTED,
+                            worker=worker,
+                        )
+                        self._finish(
+                            index,
+                            jobs[index],
+                            keys[index],
+                            result,
+                            SOURCE_COMPUTED,
+                            seconds=item["seconds"],
+                            worker=worker,
+                        )

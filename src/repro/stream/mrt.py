@@ -54,6 +54,15 @@ ATTR_AS4_PATH = 17
 AFI_IPV4 = 1
 AFI_IPV6 = 2
 
+# Precompiled binary layouts, shared by reader and writer.  Compiling
+# the 12-byte record header and the big-endian integer fields once at
+# import time keeps format-string parsing out of the per-record loop;
+# ``unpack_from`` reads straight out of the record body (bytes or
+# memoryview) without carving intermediate slices.
+_MRT_HEADER = struct.Struct(">IHHI")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
 
 class MRTError(ValueError):
     """Raised on structurally invalid MRT input."""
@@ -72,7 +81,9 @@ def _read_exact(stream: BinaryIO, count: int) -> Optional[bytes]:
     return data
 
 
-def _decode_nlri(data: bytes, offset: int, family: int) -> Tuple[Prefix, int]:
+def _decode_nlri(
+    data: "bytes | memoryview", offset: int, family: int
+) -> Tuple[Prefix, int]:
     """Decode one length-prefixed NLRI entry; returns (prefix, new offset)."""
     if offset >= len(data):
         raise MRTError("NLRI runs past the buffer")
@@ -95,22 +106,23 @@ def _encode_nlri(prefix: Prefix) -> bytes:
     return bytes([prefix.length]) + value.to_bytes(byte_length, "big")
 
 
-def _decode_as_path(data: bytes, asn_size: int) -> ASPath:
+def _decode_as_path(data: "bytes | memoryview", asn_size: int) -> ASPath:
     segments: List[PathSegment] = []
     offset = 0
-    while offset < len(data):
-        if offset + 2 > len(data):
+    end = len(data)
+    while offset < end:
+        if offset + 2 > end:
             raise MRTError("AS_PATH segment header truncated")
         segment_type = data[offset]
         count = data[offset + 1]
         offset += 2
-        asns = []
-        for _ in range(count):
-            chunk = data[offset : offset + asn_size]
-            if len(chunk) != asn_size:
-                raise MRTError("AS_PATH ASN truncated")
-            asns.append(int.from_bytes(chunk, "big"))
-            offset += asn_size
+        if offset + count * asn_size > end:
+            raise MRTError("AS_PATH ASN truncated")
+        # One unpack for the whole segment (struct caches the compiled
+        # format per count) instead of a from_bytes slice per ASN.
+        code = "I" if asn_size == 4 else "H"
+        asns = list(struct.unpack_from(f">{count}{code}", data, offset))
+        offset += count * asn_size
         if segment_type not in (1, 2):
             raise MRTError(f"unknown AS_PATH segment type {segment_type}")
         segments.append(
@@ -135,7 +147,7 @@ def _encode_as_path(path: ASPath, asn_size: int = 4) -> bytes:
 
 
 def _decode_attributes(
-    data: bytes, asn_size: int
+    data: "bytes | memoryview", asn_size: int
 ) -> Tuple[Optional[PathAttributes], List[Prefix], List[Prefix], int]:
     """Decode a BGP UPDATE's path-attribute block.
 
@@ -150,19 +162,20 @@ def _decode_attributes(
     v6_withdrawn: List[Prefix] = []
 
     offset = 0
-    while offset < len(data):
-        if offset + 2 > len(data):
+    end = len(data)
+    while offset < end:
+        if offset + 2 > end:
             raise MRTError("attribute header truncated")
         flags = data[offset]
         type_code = data[offset + 1]
         offset += 2
         if flags & 0x10:  # extended length
-            if offset + 2 > len(data):
+            if offset + 2 > end:
                 raise MRTError("extended attribute length truncated")
-            length = int.from_bytes(data[offset : offset + 2], "big")
+            length = _U16.unpack_from(data, offset)[0]
             offset += 2
         else:
-            if offset + 1 > len(data):
+            if offset + 1 > end:
                 raise MRTError("attribute length truncated")
             length = data[offset]
             offset += 1
@@ -180,17 +193,15 @@ def _decode_attributes(
         elif type_code == ATTR_MED:
             med = int.from_bytes(body, "big")
         elif type_code == ATTR_COMMUNITIES:
-            for pos in range(0, len(body), 4):
-                chunk = body[pos : pos + 4]
-                if len(chunk) == 4:
-                    communities.append(
-                        Community(
-                            int.from_bytes(chunk[:2], "big"),
-                            int.from_bytes(chunk[2:], "big"),
-                        )
+            for pos in range(0, len(body) - 3, 4):
+                communities.append(
+                    Community(
+                        _U16.unpack_from(body, pos)[0],
+                        _U16.unpack_from(body, pos + 2)[0],
                     )
+                )
         elif type_code == ATTR_MP_REACH_NLRI:
-            afi = int.from_bytes(body[0:2], "big")
+            afi = _U16.unpack_from(body, 0)[0]
             next_hop_length = body[3]
             pos = 4 + next_hop_length + 1  # skip next hop + reserved byte
             family = AF_INET6 if afi == AFI_IPV6 else AF_INET
@@ -198,7 +209,7 @@ def _decode_attributes(
                 prefix, pos = _decode_nlri(body, pos, family)
                 v6_announced.append(prefix)
         elif type_code == ATTR_MP_UNREACH_NLRI:
-            afi = int.from_bytes(body[0:2], "big")
+            afi = _U16.unpack_from(body, 0)[0]
             pos = 3
             family = AF_INET6 if afi == AFI_IPV6 else AF_INET
             while pos < len(body):
@@ -273,11 +284,15 @@ class MRTReader:
             header = _read_exact(self.stream, 12)
             if header is None:
                 return
-            timestamp, mrt_type, subtype, length = struct.unpack(">IHHI", header)
-            body = self.stream.read(length)
-            self.bytes_read += 12 + len(body)
-            if len(body) != length:
+            timestamp, mrt_type, subtype, length = _MRT_HEADER.unpack(header)
+            raw = self.stream.read(length)
+            self.bytes_read += 12 + len(raw)
+            if len(raw) != length:
                 raise MRTError("truncated MRT record body")
+            # Sub-decoders slice the body heavily; a memoryview makes
+            # every slice a zero-copy window.  Nothing yielded retains a
+            # view, so the buffer's lifetime ends with the record.
+            body = memoryview(raw)
             if mrt_type == MRT_BGP4MP_ET:
                 body = body[4:]  # drop the microsecond extension
                 mrt_type = MRT_BGP4MP
@@ -304,11 +319,11 @@ class MRTReader:
 
     # -- TABLE_DUMP_V2 --------------------------------------------------
 
-    def _load_peer_index(self, body: bytes) -> None:
+    def _load_peer_index(self, body: "bytes | memoryview") -> None:
         offset = 4  # collector BGP ID
-        view_length = int.from_bytes(body[offset : offset + 2], "big")
+        view_length = _U16.unpack_from(body, offset)[0]
         offset += 2 + view_length
-        peer_count = int.from_bytes(body[offset : offset + 2], "big")
+        peer_count = _U16.unpack_from(body, offset)[0]
         offset += 2
         peers: List[Tuple[int, str]] = []
         for _ in range(peer_count):
@@ -322,23 +337,26 @@ class MRTReader:
                 raw = body[offset : offset + 4]
                 offset += 4
                 address = ".".join(str(b) for b in raw)
-            asn_size = 4 if peer_type & 0x02 else 2
-            asn = int.from_bytes(body[offset : offset + asn_size], "big")
-            offset += asn_size
+            if peer_type & 0x02:
+                asn = _U32.unpack_from(body, offset)[0]
+                offset += 4
+            else:
+                asn = _U16.unpack_from(body, offset)[0]
+                offset += 2
             peers.append((asn, address))
         self._peers = peers
 
-    def _rib_records(self, body: bytes, subtype: int,
+    def _rib_records(self, body: "bytes | memoryview", subtype: int,
                      timestamp: int) -> Iterator[RouteRecord]:
         family = AF_INET if subtype == TDV2_RIB_IPV4_UNICAST else AF_INET6
         offset = 4  # sequence number
         prefix, offset = _decode_nlri(body, offset, family)
-        entry_count = int.from_bytes(body[offset : offset + 2], "big")
+        entry_count = _U16.unpack_from(body, offset)[0]
         offset += 2
         for _ in range(entry_count):
-            peer_index = int.from_bytes(body[offset : offset + 2], "big")
+            peer_index = _U16.unpack_from(body, offset)[0]
             offset += 2 + 4  # + originated time
-            attr_length = int.from_bytes(body[offset : offset + 2], "big")
+            attr_length = _U16.unpack_from(body, offset)[0]
             offset += 2
             attr_block = body[offset : offset + attr_length]
             offset += attr_length
@@ -357,9 +375,10 @@ class MRTReader:
 
     # -- BGP4MP -----------------------------------------------------------
 
-    def _bgp4mp_record(self, body: bytes, subtype: int,
+    def _bgp4mp_record(self, body: "bytes | memoryview", subtype: int,
                        timestamp: int) -> Optional[RouteRecord]:
         asn_size = 4 if subtype == BGP4MP_MESSAGE_AS4 else 2
+        asn_struct = _U32 if asn_size == 4 else _U16
 
         def corrupt(reason: str, peer_asn: int = 0,
                     peer_address: str = "0.0.0.0") -> RouteRecord:
@@ -371,10 +390,10 @@ class MRTReader:
         if len(body) < 2 * asn_size + 4:
             return corrupt("truncated BGP4MP peer header")
         offset = 0
-        peer_asn = int.from_bytes(body[offset : offset + asn_size], "big")
+        peer_asn = asn_struct.unpack_from(body, offset)[0]
         offset += 2 * asn_size  # peer AS + local AS
         offset += 2  # interface index
-        afi = int.from_bytes(body[offset : offset + 2], "big")
+        afi = _U16.unpack_from(body, offset)[0]
         offset += 2
         addr_len = 4 if afi == AFI_IPV4 else 16
         if len(body) < offset + 2 * addr_len:
@@ -397,7 +416,7 @@ class MRTReader:
             return corrupt("truncated BGP message header", peer_asn, peer_address)
         if body[offset:marker_end] != b"\xff" * 16:
             return corrupt("invalid BGP message marker", peer_asn, peer_address)
-        declared = int.from_bytes(body[marker_end : marker_end + 2], "big")
+        declared = _U16.unpack_from(body, marker_end)[0]
         if declared < 19 or offset + declared > len(body):
             return corrupt(
                 f"declared BGP message length {declared} exceeds record",
@@ -412,7 +431,7 @@ class MRTReader:
         try:
             if offset + 2 > message_end:
                 raise MRTError("withdrawn-routes length truncated")
-            withdrawn_length = int.from_bytes(body[offset : offset + 2], "big")
+            withdrawn_length = _U16.unpack_from(body, offset)[0]
             offset += 2
             if offset + withdrawn_length > message_end:
                 raise MRTError("withdrawn routes overrun the message")
@@ -420,7 +439,7 @@ class MRTReader:
             offset += withdrawn_length
             if offset + 2 > message_end:
                 raise MRTError("path-attribute length truncated")
-            attr_length = int.from_bytes(body[offset : offset + 2], "big")
+            attr_length = _U16.unpack_from(body, offset)[0]
             offset += 2
             if offset + attr_length > message_end:
                 raise MRTError("path attributes overrun the message")
@@ -481,8 +500,8 @@ class MRTWriter:
 
     def _emit(self, timestamp: int, mrt_type: int, subtype: int,
               body: bytes) -> None:
-        self.stream.write(struct.pack(">IHHI", timestamp, mrt_type, subtype,
-                                      len(body)))
+        self.stream.write(_MRT_HEADER.pack(timestamp, mrt_type, subtype,
+                                           len(body)))
         self.stream.write(body)
 
     def write_peer_index(self, peers: Sequence[Tuple[int, str]],

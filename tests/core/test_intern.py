@@ -1,0 +1,147 @@
+"""Intern-pool invariants: dense ids, the absent sentinel, packed keys.
+
+The columnar kernel's correctness rests on three properties of
+:class:`PathInternPool`: ids are stable for the pool's lifetime (so
+packed keys compare across snapshots), id 0 means exactly "no route"
+(unseen or removed by normalisation), and packed-key equality holds iff
+the underlying path vectors are equal.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import ElementType, RouteElement, RouteRecord
+from repro.bgp.rib import RIBSnapshot
+from repro.core.atoms import compute_atoms
+from repro.core.incremental import AtomIndex
+from repro.core.intern import (
+    ABSENT_ID,
+    KEY_WIDTH,
+    PathInternPool,
+    pack_key,
+    unpack_key,
+)
+from repro.net.aspath import ASPath, PathSegment, SegmentType
+
+
+def seq(*asns):
+    return ASPath.from_asns(list(asns))
+
+
+class TestDenseIds:
+    def test_ids_start_after_absent_sentinel(self):
+        pool = PathInternPool()
+        assert pool.path_id(seq(1, 2, 3)) == 1
+        assert pool.path_id(seq(4, 5)) == 2
+        assert pool.id_count == 3  # two paths + the sentinel slot
+
+    def test_ids_stable_across_repeated_and_equal_lookups(self):
+        pool = PathInternPool()
+        first = pool.path_id(seq(1, 2, 3))
+        # A value-equal but distinct object maps to the same id.
+        assert pool.path_id(seq(1, 2, 3)) == first
+        assert pool.path_for_id(first) == seq(1, 2, 3)
+
+    def test_ids_stable_across_snapshots(self):
+        """Feeding successive snapshots never renumbers seen paths."""
+        pool = PathInternPool()
+        ids_before = {
+            path: pool.path_id(path) for path in (seq(1, 9), seq(2, 9))
+        }
+        pool.path_id(seq(3, 9))  # a later snapshot introduces a new path
+        for path, pid in ids_before.items():
+            assert pool.path_id(path) == pid
+
+    def test_none_is_absent(self):
+        pool = PathInternPool()
+        assert pool.path_id(None) == ABSENT_ID
+        assert pool.path_for_id(ABSENT_ID) is None
+
+    def test_dropped_multi_as_set_path_is_absent(self):
+        """§2.4.4: multi-element AS_SETs remove the route entirely."""
+        pool = PathInternPool()
+        dropped = ASPath([
+            PathSegment(SegmentType.AS_SEQUENCE, [1, 2]),
+            PathSegment(SegmentType.AS_SET, [8, 9]),
+        ])
+        assert pool.path_id(dropped) == ABSENT_ID
+        assert pool.path(dropped) is None
+
+    def test_singleton_sets_share_the_expanded_path_id(self):
+        """A singleton AS_SET expands to the plain sequence's path."""
+        pool = PathInternPool()
+        plain = pool.path_id(seq(1, 2, 9))
+        with_set = ASPath([
+            PathSegment(SegmentType.AS_SEQUENCE, [1, 2]),
+            PathSegment(SegmentType.AS_SET, [9]),
+        ])
+        assert pool.path_id(with_set) == plain
+
+    def test_canonical_instances_are_shared(self):
+        pool = PathInternPool()
+        a = pool.path(seq(1, 2, 3))
+        b = pool.path(seq(1, 2, 3))
+        assert a is b  # identity stands in for equality afterwards
+
+
+class TestPoolReuse:
+    def _records(self, tails):
+        elements = [
+            RouteElement(
+                ElementType.RIB,
+                prefix,
+                PathAttributes(seq(11, *tail)),
+            )
+            for prefix, tail in tails
+        ]
+        return [RouteRecord("rib", "ris", "rrc00", 11, "a", 100, elements)]
+
+    def test_compute_atoms_and_atom_index_share_a_pool(self):
+        from repro.net.prefix import Prefix
+
+        p1, p2 = Prefix.parse("10.0.1.0/24"), Prefix.parse("10.0.2.0/24")
+        records = self._records([(p1, (5, 9)), (p2, (6, 9))])
+        snapshot = RIBSnapshot.from_records(records)
+
+        pool = PathInternPool()
+        atoms = compute_atoms(snapshot, pool=pool)
+        interned = pool.id_count
+        assert interned == 3  # two paths + sentinel
+
+        index = AtomIndex(snapshot, pool=pool)
+        # The index's keys reuse the already-interned paths: nothing new.
+        assert index.pool is pool
+        assert pool.id_count == interned
+        assert index.atoms().prefix_sets() == atoms.prefix_sets()
+
+
+PATHS = st.lists(
+    st.integers(min_value=1, max_value=9), min_size=1, max_size=4
+).map(lambda asns: ASPath.from_asns(asns))
+VECTORS = st.lists(st.one_of(st.none(), PATHS), min_size=1, max_size=6)
+
+
+class TestPackedKeys:
+    def test_roundtrip(self):
+        ids = (0, 1, 7, 0, 2)
+        key = pack_key(ids)
+        assert len(key) == KEY_WIDTH * len(ids)
+        assert unpack_key(key) == ids
+
+    @given(VECTORS, VECTORS)
+    @settings(max_examples=200, deadline=None)
+    def test_key_equality_iff_vector_equality(self, left, right):
+        """pack_key(ids(v1)) == pack_key(ids(v2))  ⟺  v1 == v2.
+
+        Both vectors run through one pool, as the kernel uses it: equal
+        paths — including equal-but-distinct objects — share an id, and
+        distinct normalised paths never collide.
+        """
+        pool = PathInternPool()
+        key_left = pack_key([pool.path_id(p) for p in left])
+        key_right = pack_key([pool.path_id(p) for p in right])
+        normalised_left = [pool.path(p) for p in left]
+        normalised_right = [pool.path(p) for p in right]
+        assert (key_left == key_right) == (
+            normalised_left == normalised_right
+        )

@@ -25,10 +25,12 @@ from tests.engine.conftest import ENGINE_WORLD
 SWEEP_YEARS = list(range(2004, 2013))
 
 
-def run_sweep(jobs: int, cache=None, metrics=None, with_stability=True):
+def run_sweep(jobs: int, cache=None, metrics=None, with_stability=True,
+              batch=1):
     """One 2004-2012 yearly trend sweep through the engine."""
     clear_worker_state()
-    engine = ExecutionEngine(jobs=jobs, cache=cache, metrics=metrics)
+    engine = ExecutionEngine(jobs=jobs, cache=cache, metrics=metrics,
+                             batch=batch)
     study = LongitudinalStudy(
         SimulatedInternet(ENGINE_WORLD, start="2004-01-01"), engine=engine
     )
