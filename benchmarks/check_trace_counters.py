@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
 from pathlib import Path
 from typing import Dict, List
@@ -47,9 +48,16 @@ BASE_ARGS = [
     "--step", "1",
 ]
 
+#: Placeholder substituted with a per-run directory under
+#: ``--output-dir`` (and wiped beforehand, so part reuse can't make the
+#: engine/store counters drift between runs).
+STORE_DIR_TOKEN = "{STORE_DIR}"
+
 SCENARIOS: Dict[str, List[str]] = {
     "trend": BASE_ARGS + ["--last-year", "2006", "--no-stability"],
     "trend-incremental": BASE_ARGS + ["--last-year", "2005", "--incremental"],
+    "trend-store": BASE_ARGS + ["--last-year", "2005",
+                                "--store-dir", STORE_DIR_TOKEN],
 }
 
 #: Only counters are gated; every one is an exact count, never a timing.
@@ -59,6 +67,7 @@ TRACKED_PREFIXES = (
     "atoms.",
     "incremental.",
     "engine.",
+    "store.",
 )
 
 
@@ -68,6 +77,13 @@ def run_scenarios(output_dir: Path) -> Dict[str, Dict[str, int]]:
     collected: Dict[str, Dict[str, int]] = {}
     for name, cli_args in SCENARIOS.items():
         trace_path = output_dir / f"trace_{name}.jsonl"
+        if STORE_DIR_TOKEN in cli_args:
+            store_dir = output_dir / f"store_{name}"
+            shutil.rmtree(store_dir, ignore_errors=True)
+            cli_args = [
+                str(store_dir) if arg == STORE_DIR_TOKEN else arg
+                for arg in cli_args
+            ]
         code = repro_main(cli_args + ["--trace", str(trace_path)])
         if code != 0:
             raise SystemExit(f"scenario {name!r} exited with {code}")

@@ -1,0 +1,107 @@
+"""Atom-store benchmark: build cost, cold-open speedup, size on disk.
+
+Not a paper experiment — this records what the on-disk columnar store
+buys on the current machine: how long a sweep takes with the store
+sink attached, how fast a cold reopen + full series recompute is
+compared to re-running the pipeline, and how many bytes a snapshot
+costs next to the ``jsonl.gz`` record archive.  Only *parity* is
+asserted (store-derived series must equal the in-memory ones); all
+timings are recorded, never gated.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.analysis.longitudinal import (
+    LongitudinalStudy,
+    trend_results_from_store,
+)
+from repro.engine.jobs import clear_worker_state
+from repro.engine.scheduler import ExecutionEngine
+from repro.simulation.scenario import SimulatedInternet
+from repro.store import AtomStore
+from repro.stream.archive import RecordArchive
+from repro.topology.evolution import WorldParams
+
+#: ``REPRO_BENCH_SMOKE=1`` shrinks the sweep to a CI-sized fixture.
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+STORE_WORLD = WorldParams(
+    seed=20250808,
+    as_scale=1 / 400.0,
+    prefix_scale=1 / 400.0,
+    peer_scale=0.03,
+    collector_scale=0.3,
+    min_fullfeed_peers=8,
+)
+
+#: 4 snapshots per yearly quarter: 2 years smoke (8 snapshots),
+#: 10 years full (the acceptance criterion's 40-snapshot store).
+SWEEP_YEARS = list(range(2004, 2006 if SMOKE else 2014))
+
+
+def _sweep(store_dir=None):
+    clear_worker_state()
+    study = LongitudinalStudy(
+        SimulatedInternet(STORE_WORLD, start=f"{SWEEP_YEARS[0]}-01-01"),
+        engine=ExecutionEngine(),
+        store_dir=None if store_dir is None else str(store_dir),
+    )
+    started = time.perf_counter()
+    results = study.run_years(SWEEP_YEARS)
+    return results, time.perf_counter() - started
+
+
+def _rows_equal(expected, actual):
+    return len(expected) == len(actual) and all(
+        left.stats == right.stats
+        and left.formation_shares == right.formation_shares
+        and left.stability == right.stability
+        and left.feed == right.feed
+        for left, right in zip(expected, actual)
+    )
+
+
+def test_store_cold_open_vs_recompute(tmp_path):
+    store_dir = tmp_path / "store"
+    _, build_s = _sweep(store_dir)
+    recomputed, recompute_s = _sweep()
+
+    started = time.perf_counter()
+    with AtomStore(store_dir) as store:
+        from_store = trend_results_from_store(store)
+        snapshots = len(store.snapshots())
+        store_bytes = store.total_bytes()
+    open_s = time.perf_counter() - started
+
+    assert _rows_equal(recomputed, from_store)  # parity, never timing
+
+    # Size comparison: the same base snapshots as jsonl.gz dumps.
+    archive_dir = tmp_path / "archive"
+    archive = RecordArchive(archive_dir)
+    internet = SimulatedInternet(STORE_WORLD, start=f"{SWEEP_YEARS[0]}-01-01")
+    probe_instant = f"{SWEEP_YEARS[0]}-01-15 08:00"
+    archive.write_dump(internet.rib_records(probe_instant))
+    jsonl_bytes = sum(
+        path.stat().st_size for path in archive_dir.rglob("*.jsonl.gz")
+    )
+
+    speedup = recompute_s / open_s if open_s else float("inf")
+    lines = [
+        f"Atom store: {len(SWEEP_YEARS)}-year sweep "
+        f"({snapshots} snapshots{', smoke' if SMOKE else ''})",
+        "=" * 72,
+        f"{'build sweep (store sink attached)':<44}{build_s:>10.2f} s",
+        f"{'recompute sweep (no store)':<44}{recompute_s:>10.2f} s",
+        f"{'cold open + all series from store':<44}{open_s:>10.3f} s",
+        f"{'cold-open speedup vs recompute':<44}{speedup:>9.1f}x",
+        "",
+        f"{'store bytes / snapshot':<44}"
+        f"{store_bytes / snapshots:>10,.0f} B",
+        f"{'jsonl.gz record dump (one base snapshot)':<44}"
+        f"{jsonl_bytes:>10,.0f} B",
+        "",
+        "parity: store-derived series identical to in-memory pipeline",
+    ]
+    emit("store", "\n".join(lines))

@@ -115,6 +115,7 @@ class LongitudinalStudy:
         sanitization: Optional[SanitizationConfig] = None,
         engine: Optional["ExecutionEngine"] = None,
         incremental: bool = False,
+        store_dir: Optional[str] = None,
     ):
         self.simulator = simulator
         self.family = family
@@ -122,6 +123,12 @@ class LongitudinalStudy:
         #: when set, run_years/run_quarters build a job graph and
         #: submit it instead of computing inline
         self.engine = engine
+        #: when set, every sweep job persists its snapshots as an
+        #: atom-store part here and the sweep finalizes the merged
+        #: store (requires ``engine``)
+        self.store_dir = None if store_dir is None else str(store_dir)
+        if self.store_dir is not None and engine is None:
+            raise ValueError("store_dir persistence requires an engine")
         #: maintain atoms across a suite's instants via AtomIndex
         #: instead of recomputing from scratch (value-identical output)
         self.incremental = incremental
@@ -150,7 +157,11 @@ class LongitudinalStudy:
 
         Jobs are self-contained (world params + advance cadence), so
         they require a pristine simulator: the cadence they replay
-        starts at the simulator's birth instant.
+        starts at the simulator's birth instant.  With ``store_dir``
+        set, workers persist per-job parts as they compute and the
+        sweep ends by merging them into the final store — cached or
+        checkpointed jobs whose part is missing are recomputed by the
+        scheduler, so the merge never lacks columns.
         """
         from repro.engine.jobs import build_jobs
 
@@ -169,8 +180,15 @@ class LongitudinalStudy:
             with_stability=with_stability,
             with_updates=with_updates,
             incremental=self.incremental,
+            store_dir=self.store_dir,
         )
-        return [result_from_quarter(q) for q in self.engine.run(jobs)]
+        quarters_out = self.engine.run(jobs)
+        if self.store_dir is not None:
+            from repro.engine.cache import job_digest
+            from repro.store.writer import merge_parts
+
+            merge_parts(self.store_dir, [job_digest(job) for job in jobs])
+        return [result_from_quarter(q) for q in quarters_out]
 
     def _update_records(self, start: int, hours: float):
         """The post-snapshot update stream, as a traced ingest stage."""
@@ -407,6 +425,57 @@ def result_from_quarter(quarter) -> YearResult:
         stability=quarter.stability,
         feed=quarter.feed,
     )
+
+
+def trend_results_from_store(store) -> List[YearResult]:
+    """Recompute the trend rows from a persisted atom store.
+
+    ``store`` is an open :class:`~repro.store.reader.AtomStore` built
+    by a ``--store-dir`` sweep.  Every metric that derives from atoms
+    — Table-1 stats, formation shares, CAM/MPM stability — is
+    recomputed from the reconstructed :class:`AtomSet` values; the
+    feed summary (which needs the raw snapshot) comes from the
+    snapshot metadata persisted alongside the columns.  Because store
+    reconstruction is value-identical to ``compute_atoms`` (atom ids
+    and ordering included), the rows equal what the in-memory sweep
+    produced (asserted in ``tests/store/test_store_pipeline.py``).
+    """
+    by_label: Dict[str, Dict[str, object]] = {}
+    order: List[str] = []
+    for entry in store.snapshots():
+        group = by_label.setdefault(entry.label, {})
+        if not group:
+            order.append(entry.label)
+        group[entry.role] = entry
+    results: List[YearResult] = []
+    for label in order:
+        group = by_label[label]
+        base_entry = group.get("base")
+        if base_entry is None:
+            raise ValueError(f"store quarter {label!r} has no base snapshot")
+        base_atoms = store.atoms(base_entry.key)
+        formation = formation_distances(base_atoms)
+        stability: Dict[str, Tuple[float, float]] = {}
+        for role in ("8h", "24h", "1w"):
+            later = group.get(role)
+            if later is not None:
+                stability[role] = stability_pair(
+                    base_atoms, store.atoms(later.key)
+                )
+        results.append(
+            YearResult(
+                year=base_entry.year,
+                suite=None,
+                stats=general_stats(base_atoms),
+                formation_shares=formation.distance_shares(),
+                formation_shares_no_single=(
+                    formation.shares_excluding_single_origins(base_atoms)
+                ),
+                stability=stability,
+                feed=dict(base_entry.feed or {}),
+            )
+        )
+    return results
 
 
 # ----------------------------------------------------------------------

@@ -8,7 +8,10 @@ Four subcommands mirror the measurement workflow:
   from a fresh simulation, printing the statistics and the
   sanitization report;
 * ``repro trend``    — run a quick longitudinal sweep and print the
-  per-year atom trends;
+  per-year atom trends (``--store-dir`` persists the sweep as a
+  memory-mapped columnar atom store);
+* ``repro store``    — ``build`` / ``info`` / ``query`` on-disk atom
+  stores (see ``docs/data-format.md``);
 * ``repro profile``  — render the per-stage wall-time/counter rollup of
   a trace written by ``--trace`` (see ``docs/observability.md``).
 
@@ -24,7 +27,10 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.longitudinal import LongitudinalStudy
+from repro.analysis.longitudinal import (
+    LongitudinalStudy,
+    trend_results_from_store,
+)
 from repro.core.formation import formation_distances
 from repro.core.pipeline import compute_policy_atoms
 from repro.core.statistics import general_stats
@@ -44,6 +50,8 @@ from repro.obs import (
 )
 from repro.reporting.tables import render_table
 from repro.simulation.scenario import SimulatedInternet
+from repro.store import AtomStore, StoreError
+from repro.store import FORMAT_VERSION as STORE_FORMAT_VERSION
 from repro.stream.archive import RecordArchive
 from repro.stream.bgpstream import BGPStream
 from repro.topology.evolution import WorldParams
@@ -104,6 +112,14 @@ def _add_engine_options(parser: argparse.ArgumentParser,
         parser.add_argument("--checkpoint", type=Path, default=None,
                             help="completion log; a killed sweep resumes "
                                  "from the last finished quarter")
+
+
+def _add_trend_range_options(parser: argparse.ArgumentParser) -> None:
+    """Year-range options shared by ``trend`` and ``store build``."""
+    parser.add_argument("--first-year", type=int, default=2004, dest="first_year")
+    parser.add_argument("--last-year", type=int, default=2024, dest="last_year")
+    parser.add_argument("--step", type=int, default=4)
+    parser.add_argument("--no-stability", action="store_true", dest="no_stability")
 
 
 def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
@@ -220,17 +236,8 @@ def cmd_atoms(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_trend(args: argparse.Namespace) -> int:
-    """Handle ``repro trend``."""
-    params = _world_params(args)
-    family = AF_INET if args.family == 4 else AF_INET6
-    years = list(range(args.first_year, args.last_year + 1, args.step))
-    internet = SimulatedInternet(params, start=f"{years[0]}-01-01")
-    engine = _build_engine(args)
-    study = LongitudinalStudy(
-        internet, family=family, engine=engine, incremental=args.incremental
-    )
-    results = study.run_years(years, with_stability=not args.no_stability)
+def _render_trend_table(results) -> str:
+    """The ``repro trend`` table for a list of ``YearResult`` rows."""
     rows = []
     for result in results:
         stats = result.stats
@@ -249,9 +256,114 @@ def cmd_trend(args: argparse.Namespace) -> int:
     headers = ["year", "prefixes", "atoms", "mean size", "formed@1", "formed@3"]
     if results and results[0].stability:
         headers.append("CAM 8h")
-    print(render_table(headers, rows, title="Longitudinal atom trend"))
+    return render_table(headers, rows, title="Longitudinal atom trend")
+
+
+def _run_trend_sweep(args: argparse.Namespace):
+    """The shared sweep behind ``repro trend`` and ``repro store build``."""
+    params = _world_params(args)
+    family = AF_INET if args.family == 4 else AF_INET6
+    years = list(range(args.first_year, args.last_year + 1, args.step))
+    internet = SimulatedInternet(params, start=f"{years[0]}-01-01")
+    engine = _build_engine(args)
+    study = LongitudinalStudy(
+        internet,
+        family=family,
+        engine=engine,
+        incremental=args.incremental,
+        store_dir=getattr(args, "store_dir", None),
+    )
+    results = study.run_years(years, with_stability=not args.no_stability)
+    return results, engine
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    """Handle ``repro trend``."""
+    results, engine = _run_trend_sweep(args)
+    print(_render_trend_table(results))
+    if args.store_dir:
+        with AtomStore(args.store_dir, verify=False) as store:
+            print(f"store: {args.store_dir} ({len(store.snapshots())} "
+                  f"snapshots, {store.total_bytes():,} segment bytes)")
     if args.progress:
         print(engine.metrics.render(), file=sys.stderr)
+    return 0
+
+
+def cmd_store_build(args: argparse.Namespace) -> int:
+    """Handle ``repro store build``: run a sweep, persist the store."""
+    results, engine = _run_trend_sweep(args)
+    with AtomStore(args.store_dir, verify=False) as store:
+        entries = store.snapshots()
+        print(f"built atom store at {args.store_dir}")
+        print(f"  snapshots: {len(entries)} across {len(results)} quarter(s)")
+        print(f"  segment bytes: {store.total_bytes():,}")
+        print(f"  interned paths: {store.pool_options.get('path_count', 0):,}")
+    if args.progress:
+        print(engine.metrics.render(), file=sys.stderr)
+    return 0
+
+
+def cmd_store_info(args: argparse.Namespace) -> int:
+    """Handle ``repro store info``: summarize a store's manifest."""
+    try:
+        with AtomStore(args.store_dir, verify=args.check) as store:
+            if args.check:
+                checked = store.verify_segments()
+                print(f"integrity: {checked} segment(s) verified")
+            entries = store.snapshots()
+            print(f"store: {args.store_dir}")
+            print(f"  format: repro-atom-store v{STORE_FORMAT_VERSION}")
+            print(f"  segment bytes: {store.total_bytes():,}")
+            print(f"  interned paths: {store.pool_options.get('path_count', 0):,}")
+            rows = [
+                (
+                    entry.key,
+                    entry.role,
+                    f"{entry.prefixes:,}",
+                    f"{entry.atom_count:,}",
+                    len(entry.vantage_points),
+                    len(entry.shards),
+                )
+                for entry in entries
+            ]
+            print()
+            print(render_table(
+                ["snapshot", "role", "prefixes", "atoms", "VPs", "shards"],
+                rows,
+                title="Snapshots",
+            ))
+            if args.trend:
+                # Recompute the trend table purely from the store —
+                # byte-identical to what the sweep printed.
+                print()
+                print(_render_trend_table(trend_results_from_store(store)))
+    except StoreError as error:
+        print(f"store error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_store_query(args: argparse.Namespace) -> int:
+    """Handle ``repro store query``: locate one prefix's atom."""
+    try:
+        with AtomStore(args.store_dir, verify=False) as store:
+            found = store.query(args.prefix, key=args.snapshot)
+            if found is None:
+                print(f"{args.prefix}: not in snapshot universe")
+                return 1
+            print(f"prefix: {found.prefix}")
+            print(f"snapshot: {found.key}")
+            print(f"atom id: {found.atom_id}")
+            print(f"shard: {found.shard} (row {found.row})")
+            entry = store.snapshot(found.key)
+            for peer, path in zip(entry.vantage_points, found.paths):
+                collector, asn, address = peer
+                seen = "(not seen)" if path is None else str(path)
+                print(f"  {collector} AS{asn} {address}: {seen}")
+    except StoreError as error:
+        print(f"store error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -332,11 +444,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_world_options(trend)
     _add_engine_options(trend, with_checkpoint=True)
-    trend.add_argument("--first-year", type=int, default=2004, dest="first_year")
-    trend.add_argument("--last-year", type=int, default=2024, dest="last_year")
-    trend.add_argument("--step", type=int, default=4)
-    trend.add_argument("--no-stability", action="store_true", dest="no_stability")
+    _add_trend_range_options(trend)
+    trend.add_argument("--store-dir", type=Path, default=None, dest="store_dir",
+                       help="persist the sweep as a memory-mapped columnar "
+                            "atom store at this directory (reopen with "
+                            "`repro store info/query`)")
     trend.set_defaults(handler=cmd_trend)
+
+    store = commands.add_parser(
+        "store", help="build / inspect / query on-disk atom stores"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+
+    build = store_commands.add_parser(
+        "build", help="run a sweep and persist it as an atom store"
+    )
+    build.add_argument("store_dir", type=Path,
+                       help="directory the store is written to")
+    _add_world_options(build)
+    _add_engine_options(build, with_checkpoint=True)
+    _add_trend_range_options(build)
+    build.set_defaults(handler=cmd_store_build)
+
+    info = store_commands.add_parser(
+        "info", help="summarize a store's manifest and snapshots"
+    )
+    info.add_argument("store_dir", type=Path)
+    info.add_argument("--check", action="store_true",
+                      help="verify every segment's SHA-256 digest")
+    info.add_argument("--trend", action="store_true",
+                      help="also recompute and print the trend table "
+                           "from the stored columns")
+    info.set_defaults(handler=cmd_store_info)
+
+    query = store_commands.add_parser(
+        "query", help="locate one prefix's atom inside a store"
+    )
+    query.add_argument("store_dir", type=Path)
+    query.add_argument("prefix", help="prefix to look up, e.g. 10.1.0.0/16")
+    query.add_argument("--snapshot", default=None,
+                       help="snapshot key (default: the first snapshot)")
+    query.set_defaults(handler=cmd_store_query)
 
     profile = commands.add_parser(
         "profile", help="render the per-stage rollup of a --trace file"

@@ -150,9 +150,50 @@ class PathInternPool:
             self._id_by_raw[raw] = pid
         return pid
 
+    def id_for_path(self, path: Optional[ASPath]) -> int:
+        """The dense id of an **already normalised** path (0 when None).
+
+        Unlike :meth:`path_id` no normalisation is applied: the caller
+        asserts ``path`` is canonical-equivalent already (an atom's
+        stored path vector, a path decoded from a persisted store
+        segment).  The instance is adopted as the canonical one when
+        the value is new, so reloading a persisted table re-creates
+        dense ids in table order without re-running ``_prepare_path``.
+        """
+        if path is None:
+            return ABSENT_ID
+        pid = self._id_by_path.get(path)
+        if pid is None:
+            path = self._canonical.setdefault(path, path)
+            pid = len(self._path_table)
+            self._id_by_path[path] = pid
+            self._path_table.append(path)
+        return pid
+
     def path_for_id(self, pid: int) -> Optional[ASPath]:
         """The canonical path behind a dense id (None for :data:`ABSENT_ID`)."""
         return self._path_table[pid]
+
+    @classmethod
+    def from_table(
+        cls,
+        paths: Sequence[ASPath],
+        expand_singleton_sets: bool = True,
+        strip_prepending: bool = False,
+    ) -> "PathInternPool":
+        """Rebuild a pool from a persisted id-ordered path table.
+
+        ``paths[i]`` becomes dense id ``i + 1`` (slot 0 stays the absent
+        sentinel), exactly the order :mod:`repro.store` serialises — so
+        packed keys written against the original pool remain valid
+        against the reloaded one.  The raw-path normalisation cache
+        starts empty (it is raw-input-dependent and not persisted);
+        canonical instances and ids carry over verbatim.
+        """
+        pool = cls(expand_singleton_sets, strip_prepending)
+        for path in paths:
+            pool.id_for_path(path)
+        return pool
 
     @property
     def path_table(self) -> List[Optional[ASPath]]:

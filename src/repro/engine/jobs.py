@@ -77,6 +77,12 @@ class SnapshotJob:
     month: int = 1
     #: reporting x-coordinate (fractional for quarterly sweeps)
     report_year: float = 0.0
+    #: atom-store sink: workers persist this job's snapshots as a
+    #: self-contained part under ``<store_dir>/parts/<job digest>``.
+    #: Deliberately NOT part of :meth:`spec`: where columns land on
+    #: disk does not change what is computed, so cache keys stay
+    #: stable whether or not a sweep persists a store.
+    store_dir: Optional[str] = None
 
     @property
     def with_stability(self) -> bool:
@@ -267,7 +273,59 @@ def execute_snapshot_job(job: SnapshotJob) -> QuarterResult:
         if job.incremental and study._index is not None:
             suite.incremental_stats = study._index.stats.as_dict()
     applied.extend(job.times)
+    if job.store_dir is not None:
+        persist_suite_part(job, suite)
     return summarize_suite(job, suite)
+
+
+def persist_suite_part(job: SnapshotJob, suite) -> None:
+    """Write the job's snapshots as an atom-store part.
+
+    Every computed :class:`~repro.core.atoms.AtomSet` of the suite
+    (base plus whichever stability snapshots exist) lands under
+    ``<store_dir>/parts/<job digest>``, alongside the feed summary and
+    sanitization headline the trend series need but columns cannot
+    carry.  The part key is the job digest, so a re-run overwrites
+    nothing: an already complete part short-circuits inside
+    :func:`repro.store.writer.write_part`.
+    """
+    from repro.engine.cache import job_digest
+    from repro.store.writer import write_part
+
+    report = suite.base.report
+    headline = {
+        "fullfeed_peers": report.fullfeed_peers,
+        "partial_peers": report.partial_peers,
+        "removed_peers": dict(report.removed_peers),
+        "prefixes_total": report.prefixes_total,
+        "prefixes_kept": report.prefixes_kept,
+    }
+    label = job.label or f"t{job.times[0]}"
+    computations = [("base", suite.base)]
+    computations.extend(
+        (role, computation)
+        for role, computation in (
+            ("8h", suite.after_8h),
+            ("24h", suite.after_24h),
+            ("1w", suite.after_week),
+        )
+        if computation is not None
+    )
+    snapshots = [
+        {
+            "key": f"{label}:{role}",
+            "atoms": computation.atoms,
+            "label": label,
+            "role": role,
+            "year": job.report_year,
+            "month": job.month,
+            "family": job.family,
+            "feed": suite.feed() if role == "base" else None,
+            "report": headline if role == "base" else None,
+        }
+        for role, computation in computations
+    ]
+    write_part(job.store_dir, job_digest(job), snapshots)
 
 
 def execute_snapshot_batch(jobs: Sequence[SnapshotJob]) -> Dict[str, Any]:
@@ -338,13 +396,15 @@ def build_jobs(
     with_updates: bool = False,
     update_hours: float = 4.0,
     incremental: bool = False,
+    store_dir: Optional[str] = None,
 ) -> List[SnapshotJob]:
     """The job graph of a sweep.
 
     ``quarters`` is an ordered sequence of (calendar year, month,
     reporting year).  Each job's warmup is the concatenated cadence of
     every earlier quarter, so any job alone reproduces the world state
-    of a serial chronological run.
+    of a serial chronological run.  ``store_dir`` makes every job
+    persist its snapshots as an atom-store part there.
     """
     jobs: List[SnapshotJob] = []
     warmup: List[int] = []
@@ -365,6 +425,7 @@ def build_jobs(
                 calendar_year=calendar_year,
                 month=month,
                 report_year=report_year,
+                store_dir=store_dir,
             )
         )
         warmup.extend(times)

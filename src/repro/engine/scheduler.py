@@ -49,6 +49,7 @@ from repro.engine.metrics import (
     Hook,
 )
 from repro.obs import get_tracer
+from repro.store.writer import part_complete
 
 
 class EngineError(RuntimeError):
@@ -150,6 +151,15 @@ class ExecutionEngine:
 
             pending: List[int] = []
             for index, (job, key) in enumerate(zip(snapshot_jobs, keys)):
+                if job.store_dir is not None and not part_complete(
+                    job.store_dir, key
+                ):
+                    # A summary hit cannot substitute for the missing
+                    # store part — the columns only exist if the job
+                    # actually runs.  Recompute; the summary result is
+                    # value-identical either way.
+                    pending.append(index)
+                    continue
                 if key in restored:
                     results[index] = restored[key]
                     tracer.record_span(

@@ -1,0 +1,46 @@
+"""Binary, memory-mapped, columnar on-disk atom store.
+
+The storage substrate the longitudinal pipeline persists to and reads
+back from (ROADMAP item 1).  A store holds one sweep's worth of
+snapshots: a shared varint-framed path table (the persisted
+:class:`~repro.core.intern.PathInternPool`), per-snapshot column
+segments (sorted prefix universe, atom-id column, per-VP dense path-id
+columns) split into prefix-range shards, and a JSON manifest carrying
+the format header, snapshot index, shard boundaries and per-segment
+SHA-256 digests.
+
+* :class:`StoreWriter` / :func:`merge_parts` build stores
+  (:mod:`repro.store.writer`);
+* :class:`AtomStore` reopens them via ``mmap`` with zero-copy column
+  views and reconstructs :class:`~repro.core.atoms.AtomSet` values
+  bit-identical to recompute (:mod:`repro.store.reader`);
+* :mod:`repro.store.format` specifies the bytes (see
+  ``docs/data-format.md``);
+* all failure modes raise :class:`StoreError`.
+
+CLI surface: ``repro store build / info / query`` and
+``repro trend --store-dir``.
+"""
+
+from repro.store.format import FORMAT_VERSION, StoreError
+from repro.store.reader import AtomStore, QueryResult, StoreSnapshot
+from repro.store.writer import (
+    StoreWriter,
+    merge_parts,
+    part_complete,
+    part_dir,
+    write_part,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "StoreError",
+    "AtomStore",
+    "QueryResult",
+    "StoreSnapshot",
+    "StoreWriter",
+    "merge_parts",
+    "part_complete",
+    "part_dir",
+    "write_part",
+]

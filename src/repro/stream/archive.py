@@ -119,11 +119,44 @@ class RecordArchive:
                     type_dir = coll_dir / rtype
                     if not type_dir.is_dir():
                         continue
+                    self._sweep_stale_tmp(type_dir)
                     for path in sorted(type_dir.rglob("*.jsonl.gz")):
-                        stamp = int(path.name.split(".")[0])
-                        found.append((proj, coll, rtype, stamp, path))
+                        # Dump files are named <timestamp>.jsonl.gz;
+                        # anything else (editor droppings, partial
+                        # copies) is not a dump — skip, don't raise.
+                        head = path.name.split(".")[0]
+                        if not head.isdigit():
+                            continue
+                        found.append((proj, coll, rtype, int(head), path))
         found.sort(key=lambda item: (item[3], item[0], item[1]))
         return found
+
+    @staticmethod
+    def _sweep_stale_tmp(type_dir: Path) -> None:
+        """Remove orphaned ``*.tmp<pid>`` files from killed writers.
+
+        ``write_dump`` stages each dump as ``<name>.tmp<pid>`` before
+        the atomic rename; a writer killed mid-write leaves that file
+        behind forever.  A tmp file whose owning pid is no longer alive
+        cannot be completed, so enumeration deletes it (a live pid's
+        file is left alone — the writer may still rename it).
+        """
+        for tmp in type_dir.rglob("*.jsonl.gz.tmp*"):
+            suffix = tmp.name.rpartition(".tmp")[2]
+            if not suffix.isdigit():
+                continue
+            pid = int(suffix)
+            try:
+                alive = pid == os.getpid() or (os.kill(pid, 0) is None)
+            except ProcessLookupError:
+                alive = False
+            except PermissionError:  # pragma: no cover - pid exists
+                alive = True
+            if not alive:
+                try:
+                    tmp.unlink()
+                except OSError:  # pragma: no cover - best effort
+                    pass
 
     def records(
         self,
@@ -133,10 +166,16 @@ class RecordArchive:
         from_time: Optional[int] = None,
         until_time: Optional[int] = None,
     ) -> Iterator[RouteRecord]:
-        """Stream records matching the filters, in dump-time order."""
+        """Stream records matching the filters, in dump-time order.
+
+        Dump-level pruning applies only to ``until_time``: a dump's
+        name is its *first* record's timestamp, so a dump stamped
+        before ``from_time`` can still contain in-range records (an
+        update dump spanning the boundary).  ``from_time`` therefore
+        filters per record only; a dump stamped *after* ``until_time``
+        cannot contain earlier records and is skipped wholesale.
+        """
         for _, _, _, stamp, path in self.dumps(project, collector, record_type):
-            if from_time is not None and stamp < from_time:
-                continue
             if until_time is not None and stamp > until_time:
                 continue
             for record in self.read_file(path):

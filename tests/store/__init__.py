@@ -1,0 +1,1 @@
+"""Tests for the on-disk columnar atom store (:mod:`repro.store`)."""

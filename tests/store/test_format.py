@@ -1,0 +1,173 @@
+"""Unit tests for the store's binary primitives."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.aspath import ASPath, PathSegment, SegmentType
+from repro.net.prefix import Prefix
+from repro.store.format import (
+    FORMAT_VERSION,
+    HEADER,
+    KIND_COLUMNS,
+    KIND_PATHS,
+    MAGIC,
+    PREFIX_RECORD,
+    StoreError,
+    check_segment,
+    column_padding,
+    decode_path,
+    decode_path_table,
+    decode_prefix,
+    encode_path,
+    encode_path_table,
+    encode_prefix,
+    frame_segment,
+    read_uvarint,
+    write_uvarint,
+)
+
+
+class TestUvarint:
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, value):
+        out = bytearray()
+        write_uvarint(out, value)
+        decoded, offset = read_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    def test_small_values_are_one_byte(self):
+        out = bytearray()
+        write_uvarint(out, 127)
+        assert len(out) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_uvarint(bytearray(), -1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(StoreError):
+            read_uvarint(b"\x80", 0)
+
+    def test_overlong_raises(self):
+        with pytest.raises(StoreError):
+            read_uvarint(b"\x80" * 12, 0)
+
+
+def _sample_paths():
+    return [
+        ASPath.from_asns([1, 2, 3]),
+        ASPath([
+            PathSegment(SegmentType.AS_SEQUENCE, [7, 7, 9]),
+            PathSegment(SegmentType.AS_SET, [3, 5]),
+        ]),
+        ASPath.from_asns([4_200_000_001]),  # 32-bit ASN
+    ]
+
+
+class TestPathCodec:
+    def test_roundtrip(self):
+        for path in _sample_paths():
+            out = bytearray()
+            encode_path(out, path)
+            decoded, offset = decode_path(bytes(out), 0)
+            assert decoded == path
+            assert offset == len(out)
+
+    def test_table_roundtrip_preserves_order(self):
+        paths = _sample_paths()
+        payload = encode_path_table(paths)
+        assert decode_path_table(payload) == paths
+
+    def test_table_trailing_bytes_rejected(self):
+        payload = encode_path_table(_sample_paths()) + b"\x00"
+        with pytest.raises(StoreError):
+            decode_path_table(payload)
+
+    def test_empty_segment_rejected(self):
+        out = bytearray()
+        write_uvarint(out, 1)  # one segment
+        write_uvarint(out, int(SegmentType.AS_SEQUENCE))
+        write_uvarint(out, 0)  # zero ASNs: invalid
+        with pytest.raises(StoreError):
+            decode_path(bytes(out), 0)
+
+    def test_bad_segment_kind_rejected(self):
+        out = bytearray()
+        write_uvarint(out, 1)
+        write_uvarint(out, 9)  # not a SegmentType
+        write_uvarint(out, 1)
+        write_uvarint(out, 42)
+        with pytest.raises(StoreError):
+            decode_path(bytes(out), 0)
+
+
+class TestPrefixRecord:
+    def test_roundtrip_v4_and_v6(self):
+        for text in ("0.0.0.0/0", "10.1.2.0/24", "255.255.255.255/32",
+                     "2001:db8::/32", "::1/128"):
+            prefix = Prefix.parse(text)
+            record = encode_prefix(prefix)
+            assert len(record) == PREFIX_RECORD.size == 18
+            assert decode_prefix(record) == prefix
+
+    def test_encoded_order_matches_key_order(self):
+        prefixes = sorted(
+            [Prefix.parse(t) for t in (
+                "10.0.0.0/8", "10.0.0.0/9", "10.128.0.0/9", "9.9.9.0/24",
+                "2001:db8::/32", "::/0", "192.0.2.0/24",
+            )],
+            key=Prefix.key,
+        )
+        encoded = [encode_prefix(p) for p in prefixes]
+        assert encoded == sorted(encoded)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(StoreError):
+            decode_prefix(b"\x00" * 5)
+        # family byte 9 is no address family
+        with pytest.raises(StoreError):
+            decode_prefix(struct.pack(">B16sB", 9, b"\x00" * 16, 0))
+
+
+class TestSegmentFraming:
+    def test_roundtrip(self):
+        payload = b"hello columns"
+        image = frame_segment(KIND_COLUMNS, payload)
+        assert image.startswith(MAGIC)
+        assert bytes(check_segment(image, KIND_COLUMNS, "t")) == payload
+
+    def test_bad_magic(self):
+        image = b"XXXX" + frame_segment(KIND_PATHS, b"x")[4:]
+        with pytest.raises(StoreError, match="magic"):
+            check_segment(image, KIND_PATHS, "t")
+
+    def test_version_mismatch(self):
+        image = bytearray(frame_segment(KIND_PATHS, b"x"))
+        struct.pack_into(">H", image, 4, FORMAT_VERSION + 1)
+        with pytest.raises(StoreError, match="version"):
+            check_segment(bytes(image), KIND_PATHS, "t")
+
+    def test_kind_mismatch(self):
+        image = frame_segment(KIND_PATHS, b"x")
+        with pytest.raises(StoreError, match="kind"):
+            check_segment(image, KIND_COLUMNS, "t")
+
+    def test_truncated_payload(self):
+        image = frame_segment(KIND_PATHS, b"abcdef")[:-2]
+        with pytest.raises(StoreError, match="length"):
+            check_segment(image, KIND_PATHS, "t")
+
+    def test_shorter_than_header(self):
+        with pytest.raises(StoreError, match="header"):
+            check_segment(b"RPST", KIND_PATHS, "t")
+
+
+def test_column_padding_aligns_u32():
+    for rows in range(0, 9):
+        start = HEADER.size  # any base; alignment is payload-relative
+        offset = 8 + rows * 18 + column_padding(rows)
+        assert offset % 4 == 0, (rows, start)

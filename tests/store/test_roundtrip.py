@@ -1,0 +1,219 @@
+"""Store round-trip parity and corruption property tests.
+
+Reuses the kernel suite's snapshot generator, which exercises every
+normalisation branch — MOAS prefixes, singleton and multi-element
+AS_SETs, prepending, partial visibility — and asserts that an
+:class:`AtomSet` written to a store and reconstructed from it is
+value-identical to the ``compute_atoms`` output: atom ids, ordering,
+member sets, path vectors, vantage points and timestamp.
+"""
+
+import json
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bgp.rib import RIBSnapshot
+from repro.core.atoms import compute_atoms
+from repro.store import AtomStore, StoreError, StoreWriter
+from repro.store.writer import MANIFEST_NAME
+from tests.core.test_kernel import assert_identical, snapshots
+
+
+def _assert_atoms_equal(expected, rebuilt):
+    assert_identical(expected, rebuilt)
+    assert rebuilt.timestamp == expected.timestamp
+    assert rebuilt.by_prefix.keys() == expected.by_prefix.keys()
+
+
+def _write_store(root, atoms, shard_rows=3):
+    writer = StoreWriter(root, shard_rows=shard_rows)
+    writer.add_snapshot("snap:base", atoms, label="snap", role="base")
+    writer.close()
+
+
+@given(snapshots())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_matches_compute_atoms(records):
+    snapshot = RIBSnapshot.from_records(records)
+    expected = compute_atoms(snapshot)
+    # tempfile (not tmp_path) so hypothesis examples don't share state
+    with tempfile.TemporaryDirectory() as tmp:
+        _write_store(tmp, expected)
+        with AtomStore(tmp) as store:
+            _assert_atoms_equal(expected, store.atoms("snap:base"))
+
+
+@given(snapshots())
+@settings(max_examples=20, deadline=None)
+def test_roundtrip_single_shard(records):
+    """Sharded and unsharded layouts reconstruct identically."""
+    snapshot = RIBSnapshot.from_records(records)
+    expected = compute_atoms(snapshot)
+    with tempfile.TemporaryDirectory() as tmp:
+        _write_store(Path(tmp) / "many", expected, shard_rows=2)
+        _write_store(Path(tmp) / "one", expected, shard_rows=1 << 20)
+        with AtomStore(Path(tmp) / "many") as many, \
+                AtomStore(Path(tmp) / "one") as one:
+            _assert_atoms_equal(expected, many.atoms("snap:base"))
+            _assert_atoms_equal(expected, one.atoms("snap:base"))
+
+
+@given(snapshots())
+@settings(max_examples=20, deadline=None)
+def test_query_agrees_with_by_prefix(records):
+    snapshot = RIBSnapshot.from_records(records)
+    expected = compute_atoms(snapshot)
+    with tempfile.TemporaryDirectory() as tmp:
+        _write_store(tmp, expected, shard_rows=3)
+        with AtomStore(tmp) as store:
+            for prefix, atom in expected.by_prefix.items():
+                found = store.query(prefix)
+                assert found is not None
+                assert found.atom_id == atom.atom_id
+                assert found.paths == atom.paths
+
+
+@given(snapshots())
+@settings(max_examples=15, deadline=None)
+def test_intern_pool_reload_preserves_ids(records):
+    """A pool rebuilt from the persisted table assigns the same ids."""
+    snapshot = RIBSnapshot.from_records(records)
+    expected = compute_atoms(snapshot)
+    with tempfile.TemporaryDirectory() as tmp:
+        writer = StoreWriter(tmp)
+        writer.add_snapshot("s:base", expected)
+        original = writer.pool
+        writer.close()
+        with AtomStore(tmp) as store:
+            reloaded = store.intern_pool()
+        assert reloaded.id_count == original.id_count
+        for pid in range(original.id_count):
+            assert reloaded.path_for_id(pid) == original.path_for_id(pid)
+            if pid:
+                assert reloaded.id_for_path(original.path_for_id(pid)) == pid
+
+
+# ----------------------------------------------------------------------
+# Corruption: every failure mode is a clear StoreError, never garbage
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def built_store(tmp_path, records_2004):
+    """A sharded store built from the session world's 2004 snapshot."""
+    snapshot = RIBSnapshot.from_records(records_2004)
+    atoms = compute_atoms(snapshot)
+    root = tmp_path / "store"
+    writer = StoreWriter(root, shard_rows=64)
+    writer.add_snapshot("2004-01:base", atoms, label="2004-01", role="base")
+    writer.close()
+    return root, atoms
+
+
+class TestCorruption:
+    def _shard(self, root):
+        return next((root / "snapshots").rglob("shard-*.seg"))
+
+    def test_truncated_shard(self, built_store):
+        root, _ = built_store
+        shard = self._shard(root)
+        shard.write_bytes(shard.read_bytes()[:-7])
+        with AtomStore(root) as store, pytest.raises(StoreError):
+            store.atoms("2004-01:base")
+
+    def test_flipped_byte_fails_digest(self, built_store):
+        root, _ = built_store
+        shard = self._shard(root)
+        blob = bytearray(shard.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        shard.write_bytes(bytes(blob))
+        with AtomStore(root) as store, pytest.raises(StoreError, match="sha256"):
+            store.atoms("2004-01:base")
+
+    def test_version_mismatch(self, built_store):
+        root, _ = built_store
+        manifest = root / MANIFEST_NAME
+        raw = json.loads(manifest.read_text())
+        raw["version"] = 99
+        manifest.write_text(json.dumps(raw))
+        with pytest.raises(StoreError, match="version"):
+            AtomStore(root)
+
+    def test_foreign_manifest_rejected(self, built_store):
+        root, _ = built_store
+        (root / MANIFEST_NAME).write_text(json.dumps({"format": "other"}))
+        with pytest.raises(StoreError, match="format"):
+            AtomStore(root)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StoreError, match="missing"):
+            AtomStore(tmp_path / "nowhere")
+
+    def test_missing_segment_file(self, built_store):
+        root, _ = built_store
+        self._shard(root).unlink()
+        with AtomStore(root) as store, pytest.raises(StoreError, match="open"):
+            store.atoms("2004-01:base")
+
+    def test_byte_order_mismatch(self, built_store):
+        root, _ = built_store
+        manifest = root / MANIFEST_NAME
+        raw = json.loads(manifest.read_text())
+        raw["byte_order"] = "little" if raw["byte_order"] == "big" else "big"
+        manifest.write_text(json.dumps(raw))
+        with pytest.raises(StoreError, match="endian"):
+            AtomStore(root)
+
+    def test_verify_false_skips_digest_but_verify_segments_catches(
+        self, built_store
+    ):
+        root, _ = built_store
+        shard = self._shard(root)
+        blob = bytearray(shard.read_bytes())
+        # Corrupt a byte the geometry checks cannot see (mid-column).
+        blob[len(blob) - 3] ^= 0x01
+        shard.write_bytes(bytes(blob))
+        with AtomStore(root, verify=False) as store:
+            with pytest.raises(StoreError, match="sha256"):
+                store.verify_segments()
+
+    def test_unknown_snapshot_key(self, built_store):
+        root, _ = built_store
+        with AtomStore(root) as store:
+            with pytest.raises(StoreError, match="not in store"):
+                store.atoms("2099-01:base")
+
+    def test_interrupted_build_does_not_open(self, built_store, tmp_path):
+        """Segments without a manifest — a killed build — never open."""
+        root, _ = built_store
+        partial = tmp_path / "partial"
+        shutil.copytree(root, partial)
+        (partial / MANIFEST_NAME).unlink()
+        with pytest.raises(StoreError, match="missing"):
+            AtomStore(partial)
+
+
+class TestWriterGuards:
+    def test_duplicate_key_rejected(self, built_store, tmp_path):
+        _, atoms = built_store
+        writer = StoreWriter(tmp_path / "w")
+        writer.add_snapshot("k", atoms)
+        with pytest.raises(StoreError, match="duplicate"):
+            writer.add_snapshot("k", atoms)
+
+    def test_path_separators_in_key_rejected(self, built_store, tmp_path):
+        _, atoms = built_store
+        writer = StoreWriter(tmp_path / "w")
+        with pytest.raises(StoreError, match="invalid"):
+            writer.add_snapshot("../escape", atoms)
+
+    def test_closed_writer_rejects_use(self, built_store, tmp_path):
+        _, atoms = built_store
+        writer = StoreWriter(tmp_path / "w")
+        writer.close()
+        with pytest.raises(StoreError, match="closed"):
+            writer.add_snapshot("k", atoms)

@@ -63,6 +63,50 @@ class TestArchive:
         assert len(list(archive.records(until_time=150))) == 1
         assert len(list(archive.records(from_time=50, until_time=250))) == 2
 
+    def test_from_time_scans_dumps_stamped_earlier(self, tmp_path):
+        """A dump is stamped with its *first* record's timestamp, so a
+        dump starting before ``from_time`` can still hold in-range
+        records — they must not be skipped wholesale (regression)."""
+        archive = RecordArchive(tmp_path)
+        spanning = [
+            make_record(timestamp=100),
+            make_record(peer_asn=2, timestamp=180),
+            make_record(peer_asn=3, timestamp=260),
+        ]
+        archive.write_dump(spanning, dump_timestamp=100)
+        in_range = list(archive.records(from_time=150))
+        assert [r.timestamp for r in in_range] == [180, 260]
+        # until_time still prunes at dump level: nothing stamped after
+        # the bound is opened, and per-record filtering holds inside.
+        assert [r.timestamp for r in archive.records(until_time=150)] == [100]
+
+    def test_dumps_skips_stray_files(self, tmp_path):
+        archive = RecordArchive(tmp_path)
+        archive.write_dump([make_record(timestamp=100)], dump_timestamp=100)
+        type_dir = next(tmp_path.rglob("100.jsonl.gz")).parent
+        (type_dir / "README.jsonl.gz").write_bytes(b"not a dump")
+        (type_dir / "notes.txt").write_text("ignore me")
+        dumps = archive.dumps()
+        assert [stamp for _, _, _, stamp, _ in dumps] == [100]
+        assert len(list(archive.records())) == 1
+
+    def test_dumps_sweeps_orphaned_tmp_files(self, tmp_path):
+        archive = RecordArchive(tmp_path)
+        archive.write_dump([make_record(timestamp=100)], dump_timestamp=100)
+        type_dir = next(tmp_path.rglob("100.jsonl.gz")).parent
+        # A tmp file from a pid that no longer exists: orphaned, swept.
+        dead = type_dir / "200.jsonl.gz.tmp999999999"
+        dead.write_bytes(b"partial")
+        # A live writer's tmp file (our own pid): must be left alone.
+        import os
+
+        live = type_dir / f"300.jsonl.gz.tmp{os.getpid()}"
+        live.write_bytes(b"in flight")
+        archive.dumps()
+        assert not dead.exists()
+        assert live.exists()
+        live.unlink()
+
     def test_record_type_separation(self, tmp_path):
         archive = RecordArchive(tmp_path)
         archive.write_dump(
