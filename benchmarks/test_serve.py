@@ -1,0 +1,201 @@
+"""Serve benchmark: query latency + sustained QPS over a live store.
+
+Not a paper experiment — this records what ``repro serve`` delivers on
+the current machine: a store is built by a sweep, served on a loopback
+socket, and hammered by a multi-threaded load generator mixing the
+three endpoint families.  The emitted ``BENCH_serve.json`` holds the
+p50/p99 latency and the sustained queries-per-second.
+
+Only *parity* is asserted (the bytes on the wire must equal
+``encode_body`` of the transport-free service answer, and the served
+atom ids must equal direct :meth:`AtomStore.query` results); all
+timings are recorded, never gated.
+"""
+
+import http.client
+import json
+import os
+import statistics
+import threading
+import time
+
+from benchmarks.conftest import OUTPUT_DIR, emit
+from repro.analysis.longitudinal import LongitudinalStudy
+from repro.engine.jobs import clear_worker_state
+from repro.engine.scheduler import ExecutionEngine
+from repro.serve import encode_body, serve_in_thread
+from repro.simulation.scenario import SimulatedInternet
+from repro.store import AtomStore
+from repro.topology.evolution import WorldParams
+
+#: ``REPRO_BENCH_SMOKE=1`` shrinks the sweep and the load window.
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+SERVE_WORLD = WorldParams(
+    seed=20250808,
+    as_scale=1 / 400.0,
+    prefix_scale=1 / 400.0,
+    peer_scale=0.03,
+    collector_scale=0.3,
+    min_fullfeed_peers=8,
+)
+
+SWEEP_YEARS = list(range(2004, 2006 if SMOKE else 2008))
+
+#: Load-generator shape: concurrent keep-alive clients x seconds.
+CLIENTS = 4
+DURATION_S = 2.0 if SMOKE else 5.0
+
+#: How many distinct prefix/atom targets the canned mix cycles over.
+TARGET_PREFIXES = 64
+TARGET_ATOMS = 16
+
+
+def _build_store(store_dir):
+    clear_worker_state()
+    study = LongitudinalStudy(
+        SimulatedInternet(SERVE_WORLD, start=f"{SWEEP_YEARS[0]}-01-01"),
+        engine=ExecutionEngine(),
+        store_dir=str(store_dir),
+    )
+    study.run_years(SWEEP_YEARS)
+
+
+def _canned_targets(store_dir):
+    """A deterministic request mix: prefixes, atoms, stats, healthz."""
+    with AtomStore(str(store_dir)) as store:
+        entry = store.snapshots()[0]
+        prefixes = sorted(
+            store.atoms(entry.key).by_prefix, key=lambda p: p.key()
+        )
+        step = max(1, len(prefixes) // TARGET_PREFIXES)
+        chosen = prefixes[::step][:TARGET_PREFIXES]
+        atom_ids = list(
+            range(0, entry.atom_count, max(1, entry.atom_count // TARGET_ATOMS))
+        )[:TARGET_ATOMS]
+    targets = [f"/v1/prefix/{prefix}" for prefix in chosen]
+    targets += [f"/v1/atom/{atom_id}" for atom_id in atom_ids]
+    targets += ["/v1/stats", "/healthz"]
+    return targets, chosen
+
+
+def _load_worker(host, port, targets, offset, deadline, latencies, errors):
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    index = offset
+    try:
+        while time.perf_counter() < deadline:
+            target = targets[index % len(targets)]
+            index += 1
+            started = time.perf_counter()
+            conn.request("GET", target)
+            response = conn.getresponse()
+            response.read()
+            elapsed = time.perf_counter() - started
+            if response.status != 200:
+                errors.append((target, response.status))
+            latencies.append(elapsed)
+    finally:
+        conn.close()
+
+
+def _percentile(latencies, fraction):
+    ranked = sorted(latencies)
+    return ranked[min(len(ranked) - 1, int(len(ranked) * fraction))]
+
+
+def test_serve_latency_and_qps(tmp_path):
+    store_dir = tmp_path / "store"
+    _build_store(store_dir)
+    targets, parity_prefixes = _canned_targets(store_dir)
+
+    with serve_in_thread(str(store_dir)) as handle:
+        # ------------------------------------------------------------
+        # Parity first (the only thing asserted): wire bytes vs the
+        # transport-free service, atom ids vs direct store queries.
+        # ------------------------------------------------------------
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=30)
+        with AtomStore(str(store_dir)) as store:
+            entry = store.snapshots()[0]
+            for prefix in parity_prefixes[:16]:
+                conn.request("GET", f"/v1/prefix/{prefix}")
+                response = conn.getresponse()
+                body = response.read()
+                assert response.status == 200
+                assert body == encode_body(
+                    handle.service.prefix_query(str(prefix))
+                )
+                direct = store.query(prefix, key=entry.key)
+                assert json.loads(body)["atom"]["id"] == direct.atom_id
+            conn.request("GET", "/v1/stats")
+            response = conn.getresponse()
+            assert response.read() == encode_body(handle.service.stats())
+        conn.close()
+
+        # ------------------------------------------------------------
+        # Load: CLIENTS keep-alive connections for DURATION_S seconds.
+        # ------------------------------------------------------------
+        latencies: list = []
+        errors: list = []
+        deadline = time.perf_counter() + DURATION_S
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(
+                target=_load_worker,
+                args=(handle.host, handle.port, targets,
+                      n * 7, deadline, latencies, errors),
+            )
+            for n in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        cache_stats = handle.service.cache.stats()
+
+    assert not errors, errors[:5]
+    assert latencies, "load generator made no requests"
+
+    qps = len(latencies) / elapsed
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    report = {
+        "smoke": SMOKE,
+        "world": {"seed": SERVE_WORLD.seed, "as_scale": SERVE_WORLD.as_scale},
+        "years": len(SWEEP_YEARS),
+        "load": {
+            "clients": CLIENTS,
+            "duration_s": elapsed,
+            "targets": len(targets),
+        },
+        "requests": len(latencies),
+        "errors": len(errors),
+        "qps": qps,
+        "latency_ms": {
+            "p50": p50 * 1e3,
+            "p99": p99 * 1e3,
+            "mean": statistics.fmean(latencies) * 1e3,
+            "max": max(latencies) * 1e3,
+        },
+        "cache": cache_stats,
+        "parity": {"prefixes_checked": 16, "identical": True},
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_serve.json").write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        f"repro serve: {CLIENTS} clients x {elapsed:.1f} s over "
+        f"{len(targets)} canned targets{' (smoke)' if SMOKE else ''}",
+        "=" * 72,
+        f"{'requests served':<44}{len(latencies):>10,}",
+        f"{'sustained QPS':<44}{qps:>10,.0f}",
+        f"{'latency p50':<44}{p50 * 1e3:>10.2f} ms",
+        f"{'latency p99':<44}{p99 * 1e3:>10.2f} ms",
+        f"{'response cache hit rate':<44}"
+        f"{cache_stats['hits'] / max(1, cache_stats['hits'] + cache_stats['misses']):>10.1%}",
+        "",
+        "parity: wire bytes identical to service + store answers",
+    ]
+    emit("serve", "\n".join(lines))

@@ -12,8 +12,14 @@ Four subcommands mirror the measurement workflow:
   memory-mapped columnar atom store);
 * ``repro store``    — ``build`` / ``info`` / ``query`` on-disk atom
   stores (see ``docs/data-format.md``);
+* ``repro serve``    — long-running HTTP/JSON atom query service over
+  an on-disk store (see ``docs/serving.md``);
 * ``repro profile``  — render the per-stage wall-time/counter rollup of
   a trace written by ``--trace`` (see ``docs/observability.md``).
+
+Commands that open a store (``store info/query``, ``serve``) exit with
+code 2 and a one-line ``store error:`` message when the store is
+missing or corrupt — never a traceback.
 
 ``repro atoms`` and ``repro trend`` accept ``--trace FILE.jsonl`` to
 record a structured trace of the run; output is byte-identical with or
@@ -49,6 +55,8 @@ from repro.obs import (
     validate_spans,
 )
 from repro.reporting.tables import render_table
+from repro.serve.app import ServeApp
+from repro.serve.cache import DEFAULT_MAX_ENTRIES
 from repro.simulation.scenario import SimulatedInternet
 from repro.store import AtomStore, StoreError
 from repro.store import FORMAT_VERSION as STORE_FORMAT_VERSION
@@ -367,6 +375,24 @@ def cmd_store_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Handle ``repro serve``: run the atom query service."""
+    try:
+        # Opening the store validates the manifest up front, so a
+        # missing or corrupt store fails here — one line, no socket.
+        app = ServeApp(
+            str(args.store_dir),
+            host=args.host,
+            port=args.port,
+            cache_entries=args.cache_entries,
+            verify=args.check,
+        )
+    except StoreError as error:
+        print(f"store error: {error}", file=sys.stderr)
+        return 2
+    return app.run(announce=print)
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Handle ``repro profile``: roll up a ``--trace`` JSONL file."""
     try:
@@ -485,6 +511,21 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--snapshot", default=None,
                        help="snapshot key (default: the first snapshot)")
     query.set_defaults(handler=cmd_store_query)
+
+    serve = commands.add_parser(
+        "serve", help="serve atom queries over HTTP from an on-disk store"
+    )
+    serve.add_argument("store_dir", type=Path,
+                       help="atom store directory (see `repro store build`)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 picks an ephemeral port)")
+    serve.add_argument("--cache-entries", type=_positive_int,
+                       default=DEFAULT_MAX_ENTRIES, dest="cache_entries",
+                       help="response-cache capacity (LRU entries)")
+    serve.add_argument("--check", action="store_true",
+                       help="verify every segment's SHA-256 on first map")
+    serve.set_defaults(handler=cmd_serve)
 
     profile = commands.add_parser(
         "profile", help="render the per-stage rollup of a --trace file"

@@ -19,8 +19,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import uuid
 from pathlib import Path
-from typing import Optional
+from typing import Any, Optional
 
 from repro.engine.jobs import (
     QuarterResult,
@@ -33,23 +34,51 @@ from repro.engine.jobs import (
 #: change semantics: old cache entries silently become unreachable.
 #: v2: job spec gained the ``incremental`` component and results carry
 #: incremental-maintenance counters.
-CACHE_SALT = "repro-engine-v2"
+#: v3: the canonical form tags node and dict-key types, so ``{1: x}``
+#: vs ``{"1": x}`` and dicts vs literal pair lists no longer collide.
+CACHE_SALT = "repro-engine-v3"
 
 
-def _canonical(value):
-    """Normalize nested containers so json.dumps is digest-stable."""
+def _canonical(value: Any) -> Any:
+    """Normalize nested containers so json.dumps is digest-stable.
+
+    The encoding must be *injective* over distinct job specs, not just
+    stable: every container is tagged with its node type ("map"/"seq")
+    and every dict key with its Python type, so a canonicalized dict
+    can never collide with a literal list of pairs and ``{1: x}`` /
+    ``{"1": x}`` produce different digests.  Keys sort by their
+    ``[type name, str(key)]`` form, which keeps mixed-type key sets
+    (e.g. the per-family ``max_prefix_length`` ints) orderable.
+    """
     if isinstance(value, dict):
-        return sorted((str(k), _canonical(v)) for k, v in value.items())
+        return [
+            "map",
+            sorted(
+                ([type(k).__name__, str(k)], _canonical(v))
+                for k, v in value.items()
+            ),
+        ]
     if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
+        return ["seq", [_canonical(v) for v in value]]
     return value
+
+
+def content_digest(payload: Any, salt: str = CACHE_SALT) -> str:
+    """Stable hex digest of any JSON-able payload under ``salt``.
+
+    The content-addressing primitive behind :func:`job_digest` and the
+    ``repro.serve`` response cache: equal payloads (up to dict ordering
+    and tuple/list spelling) digest identically, distinct payloads
+    never collide (see :func:`_canonical`).
+    """
+    body = {"salt": salt, "body": _canonical(payload)}
+    encoded = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
 def job_digest(job: SnapshotJob, salt: str = CACHE_SALT) -> str:
     """Stable hex digest identifying a job's full computation content."""
-    payload = {"salt": salt, "spec": _canonical(job.spec())}
-    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+    return content_digest({"spec": job.spec()}, salt=salt)
 
 
 class ResultCache:
@@ -86,7 +115,12 @@ class ResultCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"key": key, "result": result_to_payload(result)}
-        tmp = path.parent / f"{path.name}.tmp{os.getpid()}"
+        # The suffix must be unique per *call*, not per process: two
+        # threads (or a re-entrant batch) writing the same key would
+        # otherwise share a tmp path, and one writer could truncate the
+        # file out from under the other's os.replace, persisting a
+        # corrupt entry.
+        tmp = path.parent / f"{path.name}.tmp{os.getpid()}-{uuid.uuid4().hex}"
         try:
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, separators=(",", ":"))

@@ -1,0 +1,180 @@
+"""Lifecycle glue for ``repro serve``: store → service → server.
+
+:class:`ServeApp` owns the pieces a deployment needs — it opens the
+:class:`~repro.store.reader.AtomStore`, builds the
+:class:`~repro.serve.service.AtomQueryService` with its response
+cache, and runs an :class:`~repro.serve.http.AtomServer` until asked
+to stop.  Two run modes:
+
+* :meth:`run` — the CLI foreground mode: installs SIGINT/SIGTERM
+  handlers that trigger a graceful shutdown, then blocks on the event
+  loop;
+* :func:`serve_in_thread` — a context manager that runs the same
+  stack on a background thread and yields the bound address, used by
+  the tests and the load benchmark.
+
+A store that is missing or corrupt raises
+:class:`~repro.store.format.StoreError` from the constructor — before
+any socket is bound — so the CLI can turn it into a one-line error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+from typing import Callable, Iterator, Optional
+
+from repro.serve.cache import DEFAULT_MAX_ENTRIES, ResponseCache
+from repro.serve.http import AtomServer
+from repro.serve.service import AtomQueryService
+from repro.store.reader import AtomStore
+
+
+class ServeApp:
+    """One serving deployment over one on-disk atom store."""
+
+    def __init__(
+        self,
+        store_dir: str,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        cache_entries: int = DEFAULT_MAX_ENTRIES,
+        verify: bool = False,
+    ):
+        self.store = AtomStore(store_dir, verify=verify)
+        try:
+            self.service = AtomQueryService(
+                self.store, cache=ResponseCache(cache_entries)
+            )
+        except Exception:
+            self.store.close()
+            raise
+        self.server = AtomServer(self.service, host=host, port=port)
+
+    def close(self) -> None:
+        """Release the store's mappings (idempotent)."""
+        self.store.close()
+
+    # ------------------------------------------------------------------
+
+    async def _main(
+        self,
+        ready: Optional[Callable[[str, int], None]],
+        stop: asyncio.Event,
+    ) -> None:
+        host, port = await self.server.start()
+        if ready is not None:
+            ready(host, port)
+        try:
+            await stop.wait()
+        finally:
+            await self.server.shutdown()
+
+    def run(self, announce: Optional[Callable[[str], None]] = None) -> int:
+        """Serve until SIGINT/SIGTERM; returns the exit code.
+
+        ``announce`` (when given) receives one human-readable line once
+        the socket is bound.
+        """
+
+        async def main() -> None:
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                except (NotImplementedError, RuntimeError):
+                    # Non-Unix event loops; Ctrl-C still raises below.
+                    pass
+
+            def ready(host: str, port: int) -> None:
+                if announce is not None:
+                    announce(
+                        f"serving {self.store.root} on http://{host}:{port} "
+                        f"({len(self.store.snapshots())} snapshots, "
+                        f"version {self.service.version[:16]})"
+                    )
+
+            await self._main(ready, stop)
+
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:  # pragma: no cover - loop w/o handlers
+            pass
+        finally:
+            self.close()
+        return 0
+
+
+class ServerHandle:
+    """Address + stopper for a server running on a background thread."""
+
+    def __init__(self, app: ServeApp):
+        self.app = app
+        self.host = ""
+        self.port = 0
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._failure: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    @property
+    def service(self) -> AtomQueryService:
+        return self.app.service
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+
+            def ready(host: str, port: int) -> None:
+                self.host, self.port = host, port
+                self._ready.set()
+
+            await self.app._main(ready, self._stop)
+
+        try:
+            asyncio.run(main())
+        except BaseException as error:  # pragma: no cover - startup failure
+            self._failure = error
+            self._ready.set()
+
+    def start(self, timeout: float = 10.0) -> "ServerHandle":
+        """Start the thread and block until the socket is bound."""
+        self._thread.start()
+        if not self._ready.wait(timeout):  # pragma: no cover - hang guard
+            raise RuntimeError("serve thread did not become ready")
+        if self._failure is not None:
+            raise RuntimeError("serve thread failed") from self._failure
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Trigger a graceful shutdown and join the thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+
+
+@contextlib.contextmanager
+def serve_in_thread(
+    store_dir: str,
+    cache_entries: int = DEFAULT_MAX_ENTRIES,
+    verify: bool = False,
+) -> Iterator[ServerHandle]:
+    """Run a full serve stack on a background thread (ephemeral port)."""
+    app = ServeApp(
+        str(store_dir),
+        port=0,
+        cache_entries=cache_entries,
+        verify=verify,
+    )
+    handle = ServerHandle(app)
+    try:
+        handle.start()
+        yield handle
+    finally:
+        handle.stop()
+        app.close()

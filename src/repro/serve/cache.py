@@ -1,0 +1,106 @@
+"""LRU + content-addressed response caching for ``repro serve``.
+
+Every endpoint response is a pure function of (store content version,
+endpoint, parameters), so responses are cached under the same
+content-addressing primitive the execution engine uses for job results
+(:func:`repro.engine.cache.content_digest` — the v3 canonical form
+whose digests cannot collide across distinct parameter sets).  The
+cache itself is a bounded LRU: an ``OrderedDict`` under a lock, moved
+to the tail on hit, evicted from the head past ``max_entries``.
+
+Hits and misses are reported both on the instance (``hits`` /
+``misses``, for ``/v1/stats``) and as ``serve.cache_hits`` /
+``serve.cache_misses`` obs counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+from repro.engine.cache import content_digest
+from repro.obs import get_tracer
+
+#: Salt for serve response digests; bump when response shapes change so
+#: a mixed-version deployment can never serve a stale shape.
+SERVE_SALT = "repro-serve-v1"
+
+#: Default maximum cached responses.
+DEFAULT_MAX_ENTRIES = 1024
+
+
+def response_key(endpoint: str, params: Any, store_version: str) -> str:
+    """Content-addressed cache key for one endpoint response."""
+    return content_digest(
+        {
+            "endpoint": endpoint,
+            "params": params,
+            "store": store_version,
+        },
+        salt=SERVE_SALT,
+    )
+
+
+class ResponseCache:
+    """A bounded, thread-safe LRU keyed by :func:`response_key` digests."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Tuple[bool, Optional[Any]]:
+        """``(hit, value)`` for ``key``; a hit refreshes its LRU slot.
+
+        The flag distinguishes a cached ``None`` response from a miss.
+        """
+        tracer = get_tracer()
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                value = self._entries[key]
+                hit = True
+            else:
+                self.misses += 1
+                value, hit = None, False
+        if tracer.enabled:
+            tracer.count("serve.cache_hits" if hit else "serve.cache_misses")
+        return hit, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU tail past cap."""
+        tracer = get_tracer()
+        evicted = 0
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+        if evicted and tracer.enabled:
+            tracer.count("serve.cache_evictions", evicted)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss/size snapshot (surfaced by ``/v1/stats``)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+            }

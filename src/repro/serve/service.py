@@ -1,0 +1,429 @@
+"""The atom query service: store-backed answers for ``repro serve``.
+
+:class:`AtomQueryService` is the transport-free core of the serve
+subsystem — the HTTP layer (:mod:`repro.serve.http`) is a thin codec
+around it, so every response can be checked for parity against direct
+:class:`~repro.store.reader.AtomStore` reads without a socket.
+
+Three endpoint families, all pure functions of the opened store:
+
+* :meth:`~AtomQueryService.prefix_query` — which atom holds a prefix,
+  the member path vector, and the prefix's stability history across
+  every stored snapshot;
+* :meth:`~AtomQueryService.atom_query` — one atom's member prefixes
+  and its formation/churn timeline across the base snapshots;
+* :meth:`~AtomQueryService.stats` — store-wide aggregates: per-snapshot
+  atom counts plus the split/merge series between consecutive base
+  snapshots.
+
+Point lookups route through a :class:`ShardRouter`: a per-snapshot
+:class:`~repro.net.trie.PrefixTrie` built from the manifest's shard
+ranges maps a query prefix to its candidate shards in O(prefix bits),
+so a lookup touches one shard segment instead of scanning the shard
+list — the same structure that lets a multi-box deployment route
+requests before opening any segment.  Responses are memoised in a
+:class:`~repro.serve.cache.ResponseCache` under content-addressed keys
+salted with the store's manifest digest, so a rebuilt store can never
+serve a stale response.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.net.prefix import Prefix, PrefixError
+from repro.net.trie import PrefixTrie
+from repro.obs import get_tracer
+from repro.serve.cache import ResponseCache, response_key
+from repro.store.format import StoreError
+from repro.store.reader import AtomStore, ShardInfo, StoreSnapshot
+
+
+class QueryError(ValueError):
+    """A client-side query problem; ``status`` is the HTTP mapping."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def covering_prefix(first: Prefix, last: Prefix) -> Prefix:
+    """The shortest prefix containing every prefix in ``[first, last]``.
+
+    Shards cover contiguous ranges of the sorted prefix universe; the
+    common leading bits of the endpoints (capped by their own lengths)
+    bound everything between them, so one trie entry per shard routes
+    the whole range.  A range spanning the top of the tree degrades to
+    the zero-length default route — the trie handles it as a root
+    value.
+    """
+    if first.family != last.family:
+        raise ValueError("shard endpoints must share an address family")
+    common = first.max_length - (first.network ^ last.network).bit_length()
+    length = min(common, first.length, last.length)
+    return Prefix.from_host_bits(first.family, first.network, length)
+
+
+class ShardRouter:
+    """Prefix-trie routing from a query prefix to its candidate shards.
+
+    Built once per snapshot from the manifest only (no segment is
+    mapped): each shard's covering prefix is inserted into a per-family
+    trie, valued with the shard indices it covers.  :meth:`route` walks
+    the one branch under the query prefix, unions the shard lists, and
+    keeps the shards whose exact ``[first, last]`` range covers the
+    prefix — identical candidates to a linear scan, found in
+    O(prefix bits).
+    """
+
+    def __init__(self, entry: StoreSnapshot):
+        self.key = entry.key
+        self._shards = entry.shards
+        self._tries: Dict[int, PrefixTrie[List[int]]] = {}
+        for index, shard in enumerate(entry.shards):
+            cover = covering_prefix(shard.first, shard.last)
+            trie = self._tries.get(cover.family)
+            if trie is None:
+                trie = self._tries[cover.family] = PrefixTrie(cover.family)
+            existing = trie.get(cover)
+            if existing is None:
+                trie.insert(cover, [index])
+            else:
+                existing.append(index)
+
+    def route(self, prefix: Prefix) -> List[ShardInfo]:
+        """Covering shards for ``prefix``, in manifest (sorted) order."""
+        trie = self._tries.get(prefix.family)
+        if trie is None:
+            return []
+        candidates: Set[int] = set()
+        for _cover, indices in trie.matches(prefix):
+            candidates.update(indices)
+        return [
+            self._shards[index]
+            for index in sorted(candidates)
+            if self._shards[index].covers(prefix)
+        ]
+
+
+def peer_label(peer: Tuple[str, int, str]) -> Dict[str, Any]:
+    """JSON shape of one vantage point."""
+    collector, asn, address = peer
+    return {"collector": collector, "asn": asn, "address": address}
+
+
+class AtomQueryService:
+    """Answers prefix/atom/stats queries over one open :class:`AtomStore`.
+
+    The service never mutates the store; every answer is deterministic
+    given the store's :meth:`~AtomStore.manifest_digest`, which is why
+    the response cache and the HTTP ETags both key on it.
+    """
+
+    def __init__(
+        self,
+        store: AtomStore,
+        cache: Optional[ResponseCache] = None,
+    ):
+        self.store = store
+        self.cache = cache if cache is not None else ResponseCache()
+        self.version = store.manifest_digest()
+        self._routers: Dict[str, ShardRouter] = {}
+        self._prefix_sets: Dict[str, Set[FrozenSet[Prefix]]] = {}
+        entries = store.snapshots()
+        if not entries:
+            raise StoreError("store holds no snapshots")
+        self._entries = entries
+        self._base_entries = [e for e in entries if e.role == "base"]
+        self.default_key = entries[0].key
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _entry(self, key: Optional[str]) -> StoreSnapshot:
+        if key is None:
+            key = self.default_key
+        try:
+            return self.store.snapshot(key)
+        except StoreError as error:
+            raise QueryError(str(error), status=404) from None
+
+    def _router(self, key: str) -> ShardRouter:
+        router = self._routers.get(key)
+        if router is None:
+            router = self._routers[key] = ShardRouter(self.store.snapshot(key))
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.count("serve.routers_built")
+        return router
+
+    def _routed_query(self, prefix: Prefix, key: str):
+        return self.store.query(
+            prefix, key=key, shards=self._router(key).route(prefix)
+        )
+
+    def _parse_prefix(self, text: str) -> Prefix:
+        try:
+            return Prefix.parse(text)
+        except PrefixError as error:
+            raise QueryError(f"invalid prefix {text!r}: {error}") from None
+
+    def _cached(self, endpoint: str, params: Any, compute):
+        key = response_key(endpoint, params, self.version)
+        hit, value = self.cache.get(key)
+        if hit:
+            return value
+        value = compute()
+        self.cache.put(key, value)
+        return value
+
+    def _prefix_set(self, key: str) -> Set[FrozenSet[Prefix]]:
+        """The CAM comparison key of one snapshot, memoised."""
+        found = self._prefix_sets.get(key)
+        if found is None:
+            found = self._prefix_sets[key] = self.store.atoms(
+                key
+            ).prefix_sets()
+        return found
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def prefix_query(
+        self, cidr: str, snapshot: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """``/v1/prefix/<cidr>``: atom id, member paths, stability history.
+
+        ``history`` holds one row per stored snapshot (all roles, sweep
+        order); ``stability`` summarises it: how many snapshots carry
+        the prefix and how many consecutive-snapshot transitions changed
+        its path vector.
+        """
+        prefix = self._parse_prefix(cidr)
+        entry = self._entry(snapshot)
+
+        def compute() -> Dict[str, Any]:
+            tracer = get_tracer()
+            with tracer.span(
+                "serve-prefix", prefix=str(prefix), snapshot=entry.key
+            ):
+                found = self._routed_query(prefix, entry.key)
+                atom: Optional[Dict[str, Any]] = None
+                location: Optional[Dict[str, Any]] = None
+                if found is not None:
+                    atom = {
+                        "id": found.atom_id,
+                        "paths": [
+                            {
+                                **peer_label(peer),
+                                "path": None if path is None else str(path),
+                            }
+                            for peer, path in zip(
+                                entry.vantage_points, found.paths
+                            )
+                        ],
+                    }
+                    location = {"shard": found.shard, "row": found.row}
+                history: List[Dict[str, Any]] = []
+                vectors: List[Optional[Tuple[Optional[str], ...]]] = []
+                for other in self._entries:
+                    row = self._routed_query(prefix, other.key)
+                    history.append(
+                        {
+                            "snapshot": other.key,
+                            "label": other.label,
+                            "role": other.role,
+                            "year": other.year,
+                            "atom_id": None if row is None else row.atom_id,
+                        }
+                    )
+                    vectors.append(
+                        None
+                        if row is None
+                        else tuple(
+                            None if path is None else str(path)
+                            for path in row.paths
+                        )
+                    )
+                present = sum(1 for vector in vectors if vector is not None)
+                path_changes = sum(
+                    1
+                    for before, after in zip(vectors, vectors[1:])
+                    if before is not None
+                    and after is not None
+                    and before != after
+                )
+                return {
+                    "prefix": str(prefix),
+                    "snapshot": entry.key,
+                    "atom": atom,
+                    "location": location,
+                    "history": history,
+                    "stability": {
+                        "snapshots": len(self._entries),
+                        "present": present,
+                        "path_changes": path_changes,
+                    },
+                }
+
+        return self._cached(
+            "prefix", {"prefix": str(prefix), "snapshot": entry.key}, compute
+        )
+
+    def atom_query(
+        self, atom_id: int, snapshot: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """``/v1/atom/<id>``: member prefixes + formation/churn timeline.
+
+        The timeline walks the base snapshots in sweep order and maps
+        this atom's member prefixes through each one: ``present`` is
+        how many members exist there, ``atoms_spanned`` how many atoms
+        they are scattered across, ``intact`` whether an atom with this
+        exact prefix set exists (the CAM criterion) — together, when
+        the members condensed into one atom and when churn split them.
+        """
+        entry = self._entry(snapshot)
+        if atom_id < 0 or atom_id >= entry.atom_count:
+            raise QueryError(
+                f"snapshot {entry.key!r} has no atom {atom_id} "
+                f"(ids 0..{entry.atom_count - 1})",
+                status=404,
+            )
+
+        def compute() -> Dict[str, Any]:
+            tracer = get_tracer()
+            with tracer.span(
+                "serve-atom", atom=atom_id, snapshot=entry.key
+            ):
+                atoms = self.store.atoms(entry.key)
+                atom = atoms.atoms[atom_id]
+                members = sorted(atom.prefixes, key=Prefix.key)
+                timeline: List[Dict[str, Any]] = []
+                for base in self._base_entries:
+                    other = self.store.atoms(base.key)
+                    spanned = {
+                        other.by_prefix[prefix].atom_id
+                        for prefix in members
+                        if prefix in other.by_prefix
+                    }
+                    timeline.append(
+                        {
+                            "snapshot": base.key,
+                            "label": base.label,
+                            "year": base.year,
+                            "present": sum(
+                                1
+                                for prefix in members
+                                if prefix in other.by_prefix
+                            ),
+                            "atoms_spanned": len(spanned),
+                            "intact": atom.prefixes
+                            in self._prefix_set(base.key),
+                        }
+                    )
+                return {
+                    "snapshot": entry.key,
+                    "atom": {
+                        "id": atom.atom_id,
+                        "size": atom.size,
+                        "prefixes": [str(prefix) for prefix in members],
+                        "origins": sorted(atom.origins()),
+                        "paths": [
+                            {
+                                **peer_label(peer),
+                                "path": None if path is None else str(path),
+                            }
+                            for peer, path in zip(
+                                entry.vantage_points, atom.paths
+                            )
+                        ],
+                    },
+                    "timeline": timeline,
+                }
+
+        return self._cached(
+            "atom", {"atom": atom_id, "snapshot": entry.key}, compute
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """``/v1/stats``: store aggregates plus split/merge series.
+
+        Between each consecutive pair of base snapshots, ``splits``
+        counts atoms whose members scatter over several later atoms and
+        ``merges`` counts later atoms drawing members from several
+        earlier ones — the sweep's churn signature, computed from the
+        reconstructed (memoised) atom sets.
+        """
+
+        def compute() -> Dict[str, Any]:
+            tracer = get_tracer()
+            with tracer.span("serve-stats", snapshots=len(self._entries)):
+                atom_counts = [
+                    [base.year, base.atom_count]
+                    for base in self._base_entries
+                ]
+                prefix_counts = [
+                    [base.year, base.prefixes] for base in self._base_entries
+                ]
+                splits: List[List[Any]] = []
+                merges: List[List[Any]] = []
+                for before, after in zip(
+                    self._base_entries, self._base_entries[1:]
+                ):
+                    first = self.store.atoms(before.key)
+                    second = self.store.atoms(after.key)
+                    targets: Dict[int, Set[int]] = {}
+                    sources: Dict[int, Set[int]] = {}
+                    for atom in first:
+                        for prefix in atom.prefixes:
+                            landed = second.by_prefix.get(prefix)
+                            if landed is None:
+                                continue
+                            targets.setdefault(atom.atom_id, set()).add(
+                                landed.atom_id
+                            )
+                            sources.setdefault(landed.atom_id, set()).add(
+                                atom.atom_id
+                            )
+                    splits.append(
+                        [
+                            after.year,
+                            sum(1 for t in targets.values() if len(t) > 1),
+                        ]
+                    )
+                    merges.append(
+                        [
+                            after.year,
+                            sum(1 for s in sources.values() if len(s) > 1),
+                        ]
+                    )
+                return {
+                    "store": {
+                        "version": self.version,
+                        "snapshots": len(self._entries),
+                        "base_snapshots": len(self._base_entries),
+                        "segment_bytes": self.store.total_bytes(),
+                        "paths": self.store.pool_options.get("path_count", 0),
+                    },
+                    "snapshots": [
+                        {
+                            "key": entry.key,
+                            "label": entry.label,
+                            "role": entry.role,
+                            "year": entry.year,
+                            "prefixes": entry.prefixes,
+                            "atoms": entry.atom_count,
+                        }
+                        for entry in self._entries
+                    ],
+                    "series": {
+                        "atom_counts": atom_counts,
+                        "prefix_counts": prefix_counts,
+                        "splits": splits,
+                        "merges": merges,
+                    },
+                }
+
+        return self._cached("stats", {}, compute)

@@ -27,11 +27,12 @@ sets, and path vectors resolved through the persisted path table
 
 from __future__ import annotations
 
+import hashlib
 import json
 import mmap
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bgp.rib import PeerId
 from repro.core.atoms import AtomSet, PolicyAtom
@@ -191,6 +192,7 @@ class AtomStore:
             self._maps: List[Tuple[mmap.mmap, Any]] = []
             self._paths: Optional[List[Optional[ASPath]]] = None
             self._atoms_cache: Dict[str, AtomSet] = {}
+            self._manifest_digest: Optional[str] = None
             self._closed = False
             if tracer.enabled:
                 span.set(snapshots=len(entries))
@@ -294,6 +296,29 @@ class AtomStore:
                 self.pool_options.get("strip_prepending", False)
             ),
         )
+
+    def manifest_digest(self) -> str:
+        """Hex digest identifying this store's exact content version.
+
+        Derived from the manifest's per-segment SHA-256 digests plus
+        the snapshot key order, so any rebuilt, extended or corrupted
+        store gets a new identity.  ``repro serve`` uses it as the
+        snapshot-version component of its ETags; it is memoised for
+        the store's lifetime (the mapping is read-only).
+        """
+        if self._manifest_digest is None:
+            body = {
+                "segments": {
+                    relpath: meta.get("sha256")
+                    for relpath, meta in self._segments.items()
+                },
+                "snapshots": [entry.key for entry in self._entries],
+            }
+            encoded = json.dumps(body, sort_keys=True, separators=(",", ":"))
+            self._manifest_digest = hashlib.sha256(
+                encoded.encode("utf-8")
+            ).hexdigest()
+        return self._manifest_digest
 
     # ------------------------------------------------------------------
     # Snapshot index
@@ -426,7 +451,10 @@ class AtomStore:
     # ------------------------------------------------------------------
 
     def query(
-        self, prefix: Union[str, Prefix], key: Optional[str] = None
+        self,
+        prefix: Union[str, Prefix],
+        key: Optional[str] = None,
+        shards: Optional[Sequence[ShardInfo]] = None,
     ) -> Optional[QueryResult]:
         """Locate ``prefix`` in one snapshot without loading the snapshot.
 
@@ -435,6 +463,12 @@ class AtomStore:
         order exactly like :meth:`Prefix.key`).  ``key`` defaults to the
         store's first snapshot.  Returns None when the prefix is not in
         the snapshot's universe.
+
+        ``shards`` restricts the search to a pre-routed candidate list
+        (``repro.serve``'s prefix-trie router); the default considers
+        every shard of the snapshot, and both paths return identical
+        answers because candidates are still filtered by
+        :meth:`ShardInfo.covers`.
         """
         if isinstance(prefix, str):
             prefix = Prefix.parse(prefix)
@@ -448,7 +482,7 @@ class AtomStore:
             target = PREFIX_RECORD.pack(
                 prefix.family, prefix.network.to_bytes(16, "big"), prefix.length
             )
-            for shard in entry.shards:
+            for shard in entry.shards if shards is None else shards:
                 if not shard.covers(prefix):
                     continue
                 prefix_block, columns, rows = self._shard_columns(entry, shard)

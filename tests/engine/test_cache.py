@@ -2,10 +2,16 @@
 
 import dataclasses
 import json
+import threading
 
 
 from repro.core.sanitize import SanitizationConfig
-from repro.engine.cache import CACHE_SALT, ResultCache, job_digest
+from repro.engine.cache import (
+    CACHE_SALT,
+    ResultCache,
+    content_digest,
+    job_digest,
+)
 from repro.engine.jobs import (
     SnapshotJob,
     build_jobs,
@@ -82,6 +88,54 @@ class TestDigest:
         """Cosmetic fields must not fragment the cache."""
         assert job_digest(make_job(label="a")) == job_digest(make_job(label="b"))
 
+    def test_salt_is_v3(self):
+        """The canonical-form fix must invalidate v2 entries."""
+        assert CACHE_SALT == "repro-engine-v3"
+
+
+class TestCanonicalCollisions:
+    """Regressions for the v2 canonical form's digest collisions."""
+
+    def test_int_and_str_keys_do_not_collide(self):
+        """v2 coerced keys with str(), so {1: x} == {"1": x}."""
+        assert content_digest({1: "x"}) != content_digest({"1": "x"})
+
+    def test_bool_and_int_keys_do_not_collide(self):
+        assert content_digest({True: "x"}) != content_digest({1: "x"})
+
+    def test_dict_and_pair_list_do_not_collide(self):
+        """v2 canonicalized a dict to a sorted list of pairs, which is
+        indistinguishable from a literal list of 2-tuples."""
+        as_dict = {"a": 1, "b": 2}
+        as_pairs = [["a", 1], ["b", 2]]
+        assert content_digest(as_dict) != content_digest(as_pairs)
+
+    def test_typed_pair_list_does_not_collide_either(self):
+        """Nor may a pair list that mimics the v3 key tagging."""
+        mimic = [[["str", "a"], 1]]
+        assert content_digest({"a": 1}) != content_digest(mimic)
+        assert content_digest({"a": 1}) != content_digest(["map", mimic])
+
+    def test_dict_key_order_is_canonical(self):
+        assert content_digest({"a": 1, "b": 2}) == content_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_mixed_key_types_are_orderable(self):
+        """Int and str keys in one dict must digest without TypeError."""
+        digest = content_digest({4: 24, 6: 48, "note": "families"})
+        assert digest == content_digest({"note": "families", 6: 48, 4: 24})
+
+    def test_tuple_and_list_spellings_are_equal(self):
+        """Tuples vs lists stay interchangeable (spec round-trips
+        through JSON, which cannot tell them apart)."""
+        assert content_digest((1, 2, 3)) == content_digest([1, 2, 3])
+
+    def test_salt_distinguishes(self):
+        assert content_digest({"a": 1}) != content_digest(
+            {"a": 1}, salt="other"
+        )
+
 
 class TestResultCache:
     def test_hit_returns_equal_result(self, tmp_path):
@@ -122,6 +176,46 @@ class TestResultCache:
         payload["key"] = "f" * 64
         cache._path(key).write_text(json.dumps(payload), encoding="utf-8")
         assert cache.get(key) is None
+
+    def test_concurrent_puts_never_persist_a_corrupt_entry(self, tmp_path):
+        """Writers racing on the same key must not corrupt the entry.
+
+        With the shared per-process tmp name, one thread could truncate
+        the tmp file while another's os.replace was pending, persisting
+        a partial JSON document.  Every surviving entry must round-trip.
+        """
+        job = make_job()
+        computed = execute_snapshot_job(job)
+        cache = ResultCache(tmp_path)
+        keys = [f"{index:02d}" + "a" * 62 for index in range(4)]
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def hammer(key):
+            try:
+                barrier.wait()
+                for _ in range(25):
+                    cache.put(key, computed)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(key,))
+            for key in keys
+            for _ in range(2)  # two writers per key race on one path
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        for key in keys:
+            restored = cache.get(key)
+            assert restored is not None, f"entry {key} did not round-trip"
+            assert restored.stats == computed.stats
+        # No tmp litter left behind by the unique-suffix writes.
+        assert not list(tmp_path.glob("**/*.tmp*"))
 
     def test_engine_recomputes_after_corruption(self, tmp_path):
         """End to end: a corrupted cache entry is recomputed, not fatal."""

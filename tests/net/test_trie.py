@@ -81,6 +81,113 @@ class TestLongestMatch:
         assert trie.longest_match(p("203.0.113.0/24"))[1] == "default"
 
 
+class TestZeroLengthPrefix:
+    """The default route lives at the trie root — every operation must
+    treat it as an ordinary (if zero-bit) entry."""
+
+    DEFAULT = Prefix.from_host_bits(AF_INET, 0, 0)
+
+    def test_insert_and_get(self):
+        trie = PrefixTrie(AF_INET)
+        trie[self.DEFAULT] = "default"
+        assert trie[self.DEFAULT] == "default"
+        assert self.DEFAULT in trie
+        assert len(trie) == 1
+
+    def test_longest_match_on_itself(self):
+        trie = PrefixTrie(AF_INET)
+        trie[self.DEFAULT] = "default"
+        assert trie.longest_match(self.DEFAULT) == (self.DEFAULT, "default")
+
+    def test_more_specific_wins_over_default(self):
+        trie = PrefixTrie(AF_INET)
+        trie[self.DEFAULT] = "default"
+        trie[p("10.0.0.0/8")] = "ten"
+        assert trie.longest_match(p("10.1.0.0/16"))[1] == "ten"
+        assert trie.longest_match(p("192.0.2.0/24"))[1] == "default"
+
+    def test_remove(self):
+        trie = PrefixTrie(AF_INET)
+        trie[self.DEFAULT] = "default"
+        trie[p("10.0.0.0/8")] = "ten"
+        assert trie.remove(self.DEFAULT) == "default"
+        assert len(trie) == 1
+        assert trie.longest_match(p("192.0.2.0/24")) is None
+        assert trie[p("10.0.0.0/8")] == "ten"
+
+    def test_matches_yields_default_first(self):
+        trie = PrefixTrie(AF_INET)
+        trie[self.DEFAULT] = "default"
+        trie[p("10.0.0.0/8")] = "ten"
+        found = list(trie.matches(p("10.0.0.0/24")))
+        assert found == [(self.DEFAULT, "default"), (p("10.0.0.0/8"), "ten")]
+
+
+class TestValuelessInteriorNodes:
+    """LPM and matches() must skip interior nodes created only as
+    branch points (inserting 10.0.0.0/9 and 10.128.0.0/9 materialises
+    a valueless 10.0.0.0/8 node)."""
+
+    def build(self):
+        trie = PrefixTrie(AF_INET)
+        trie[p("10.0.0.0/9")] = "low"
+        trie[p("10.128.0.0/9")] = "high"
+        return trie
+
+    def test_longest_match_skips_branch_point(self):
+        trie = self.build()
+        assert trie.longest_match(p("10.0.1.0/24"))[1] == "low"
+        assert trie.longest_match(p("10.200.0.0/16"))[1] == "high"
+        # The valueless /8 interior node must not answer for a probe
+        # that only reaches it.
+        assert trie.longest_match(p("10.0.0.0/8")) is None
+
+    def test_longest_match_descends_past_removed_value(self):
+        trie = PrefixTrie(AF_INET)
+        trie[p("10.0.0.0/8")] = "eight"
+        trie[p("10.0.0.0/16")] = "sixteen"
+        trie.remove(p("10.0.0.0/8"))
+        assert trie.longest_match(p("10.0.0.0/24")) == (
+            p("10.0.0.0/16"),
+            "sixteen",
+        )
+        assert trie.longest_match(p("10.5.0.0/16")) is None
+
+    def test_matches_skips_branch_point(self):
+        trie = self.build()
+        trie[p("10.0.0.0/16")] = "fine"
+        found = list(trie.matches(p("10.0.0.0/24")))
+        assert found == [
+            (p("10.0.0.0/9"), "low"),
+            (p("10.0.0.0/16"), "fine"),
+        ]
+
+
+class TestMatches:
+    def test_shortest_first_chain(self):
+        trie = PrefixTrie(AF_INET)
+        for text in ("10.0.0.0/8", "10.0.0.0/16", "10.0.0.0/24"):
+            trie[p(text)] = text
+        found = [str(k) for k, _ in trie.matches(p("10.0.0.0/24"))]
+        assert found == ["10.0.0.0/8", "10.0.0.0/16", "10.0.0.0/24"]
+
+    def test_siblings_not_matched(self):
+        trie = PrefixTrie(AF_INET)
+        trie[p("10.0.0.0/8")] = "a"
+        trie[p("11.0.0.0/8")] = "b"
+        assert [v for _, v in trie.matches(p("10.1.0.0/16"))] == ["a"]
+
+    def test_no_match(self):
+        trie = PrefixTrie(AF_INET)
+        trie[p("10.0.0.0/8")] = "a"
+        assert list(trie.matches(p("192.0.2.0/24"))) == []
+
+    def test_family_mismatch_rejected(self):
+        trie = PrefixTrie(AF_INET)
+        with pytest.raises(ValueError):
+            list(trie.matches(p("2001:db8::/32")))
+
+
 class TestTraversal:
     def test_items_in_network_order(self):
         trie = PrefixTrie(AF_INET)
@@ -123,6 +230,19 @@ def test_matches_dict_model(operations):
     for prefix, value in model.items():
         assert trie[prefix] == value
     assert dict(trie.items()) == model
+
+
+@given(st.lists(prefix_strategy, min_size=1, max_size=30, unique=True))
+def test_matches_agrees_with_bruteforce(prefixes):
+    trie = PrefixTrie(AF_INET)
+    for prefix in prefixes:
+        trie[prefix] = str(prefix)
+    probe = prefixes[0]
+    expected = sorted(
+        (candidate for candidate in prefixes if candidate.contains(probe)),
+        key=lambda c: c.length,
+    )
+    assert [found for found, _ in trie.matches(probe)] == expected
 
 
 @given(st.lists(prefix_strategy, min_size=1, max_size=30, unique=True))

@@ -1,0 +1,44 @@
+"""Shared fixtures for the serve tests: one small on-disk store.
+
+The store is built once per session by the same sweep the store
+pipeline tests use (two years, base + stability roles) and treated as
+read-only by every test; anything that needs a broken store copies or
+builds its own.
+"""
+
+import pytest
+
+from repro.analysis.longitudinal import LongitudinalStudy
+from repro.engine.scheduler import ExecutionEngine
+from repro.simulation.scenario import SimulatedInternet
+from repro.store import AtomStore
+from repro.topology.evolution import WorldParams
+
+WORLD = WorldParams(
+    seed=5,
+    as_scale=1 / 400.0,
+    prefix_scale=1 / 400.0,
+    peer_scale=0.03,
+    collector_scale=0.3,
+    min_fullfeed_peers=8,
+)
+
+YEARS = [2006, 2007]
+
+
+@pytest.fixture(scope="session")
+def served_store_dir(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("serve") / "store"
+    study = LongitudinalStudy(
+        SimulatedInternet(WORLD, start=f"{YEARS[0]}-01-01"),
+        engine=ExecutionEngine(),
+        store_dir=str(store_dir),
+    )
+    study.run_years(YEARS)
+    return store_dir
+
+
+@pytest.fixture(scope="session")
+def served_store(served_store_dir):
+    with AtomStore(str(served_store_dir)) as store:
+        yield store

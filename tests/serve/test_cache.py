@@ -1,0 +1,126 @@
+"""Tests for the serve response cache and its content-addressed keys."""
+
+import threading
+
+from repro.serve.cache import ResponseCache, response_key
+
+
+class TestResponseKey:
+    def test_deterministic(self):
+        a = response_key("prefix", {"prefix": "10.0.0.0/8"}, "v1")
+        b = response_key("prefix", {"prefix": "10.0.0.0/8"}, "v1")
+        assert a == b
+
+    def test_endpoint_distinguishes(self):
+        params = {"x": 1}
+        assert response_key("prefix", params, "v1") != response_key(
+            "atom", params, "v1"
+        )
+
+    def test_params_distinguish(self):
+        assert response_key("prefix", {"x": 1}, "v1") != response_key(
+            "prefix", {"x": 2}, "v1"
+        )
+
+    def test_store_version_distinguishes(self):
+        """A rebuilt store can never serve a stale cached response."""
+        params = {"prefix": "10.0.0.0/8"}
+        assert response_key("prefix", params, "v1") != response_key(
+            "prefix", params, "v2"
+        )
+
+    def test_typed_params_distinguish(self):
+        # The v3 canonical form keeps the engine-cache injectivity
+        # guarantees at the serve layer too.
+        assert response_key("atom", {1: "x"}, "v") != response_key(
+            "atom", {"1": "x"}, "v"
+        )
+
+
+class TestResponseCache:
+    def test_miss_then_hit(self):
+        cache = ResponseCache(4)
+        hit, value = cache.get("k")
+        assert not hit and value is None
+        cache.put("k", {"a": 1})
+        hit, value = cache.get("k")
+        assert hit and value == {"a": 1}
+
+    def test_cached_none_is_a_hit(self):
+        """A computed-to-None payload must not look like a miss."""
+        cache = ResponseCache(4)
+        cache.put("k", None)
+        hit, value = cache.get("k")
+        assert hit and value is None
+
+    def test_lru_evicts_oldest(self):
+        cache = ResponseCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") == (False, None)
+        assert cache.get("b") == (True, 2)
+        assert cache.get("c") == (True, 3)
+
+    def test_get_refreshes_recency(self):
+        cache = ResponseCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh: "b" is now the eviction candidate
+        cache.put("c", 3)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("b") == (False, None)
+
+    def test_put_refreshes_recency(self):
+        cache = ResponseCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert cache.get("a") == (True, 10)
+        assert cache.get("b") == (False, None)
+
+    def test_stats(self):
+        cache = ResponseCache(2)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["max_entries"] == 2
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_clear(self):
+        cache = ResponseCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") == (False, None)
+        assert cache.stats()["entries"] == 0
+
+    def test_thread_safety_under_churn(self):
+        cache = ResponseCache(8)
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def worker(offset):
+            try:
+                barrier.wait()
+                for i in range(500):
+                    key = f"k{(offset + i) % 16}"
+                    cache.put(key, i)
+                    hit, value = cache.get(key)
+                    if hit:
+                        assert isinstance(value, int)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert cache.stats()["entries"] <= 8

@@ -1,0 +1,233 @@
+"""Tests for the transport-free atom query service and shard routing."""
+
+import pytest
+
+from repro.net.prefix import AF_INET, AF_INET6, Prefix
+from repro.serve.cache import ResponseCache
+from repro.serve.service import (
+    AtomQueryService,
+    QueryError,
+    ShardRouter,
+    covering_prefix,
+)
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+class TestCoveringPrefix:
+    def test_single_prefix_range(self):
+        assert covering_prefix(p("10.0.0.0/8"), p("10.0.0.0/8")) == p(
+            "10.0.0.0/8"
+        )
+
+    def test_sibling_endpoints(self):
+        cover = covering_prefix(p("10.0.0.0/9"), p("10.128.0.0/9"))
+        assert cover == p("10.0.0.0/8")
+
+    def test_contains_both_endpoints(self):
+        first, last = p("10.1.0.0/16"), p("10.200.0.0/24")
+        cover = covering_prefix(first, last)
+        assert cover.contains(first) and cover.contains(last)
+
+    def test_disjoint_range_degrades_to_default_route(self):
+        cover = covering_prefix(p("1.0.0.0/8"), p("200.0.0.0/8"))
+        assert cover.length == 0
+        assert cover == Prefix.from_host_bits(AF_INET, 0, 0)
+
+    def test_capped_by_endpoint_lengths(self):
+        # Endpoints share 16 leading bits but the first is only a /8:
+        # the cover cannot be longer than the shortest endpoint or it
+        # would not contain it.
+        cover = covering_prefix(p("10.0.0.0/8"), p("10.0.255.0/24"))
+        assert cover.contains(p("10.0.0.0/8"))
+        assert cover.length <= 8
+
+    def test_family_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            covering_prefix(p("10.0.0.0/8"), p("2001:db8::/32"))
+
+    def test_v6(self):
+        cover = covering_prefix(p("2001:db8::/32"), p("2001:db8:ffff::/48"))
+        assert cover.family == AF_INET6
+        assert cover.contains(p("2001:db8:1234::/48"))
+
+
+class TestShardRouter:
+    def test_route_equals_linear_scan(self, served_store):
+        """Trie routing returns exactly the shards a full scan keeps."""
+        for entry in served_store.snapshots():
+            router = ShardRouter(entry)
+            probes = [shard.first for shard in entry.shards]
+            probes += [shard.last for shard in entry.shards]
+            probes += [p("0.0.0.0/0"), p("255.255.255.255/32")]
+            for probe in probes:
+                routed = router.route(probe)
+                expected = [
+                    shard for shard in entry.shards if shard.covers(probe)
+                ]
+                assert routed == expected, (entry.key, str(probe))
+
+    def test_route_all_stored_prefixes(self, served_store):
+        """Every stored prefix routes to at least its own shard."""
+        entry = served_store.snapshots()[0]
+        router = ShardRouter(entry)
+        for prefix in served_store.atoms(entry.key).by_prefix:
+            assert any(
+                shard.covers(prefix) for shard in router.route(prefix)
+            ), str(prefix)
+
+    def test_unknown_family_routes_nowhere(self, served_store):
+        entry = served_store.snapshots()[0]
+        families = {shard.first.family for shard in entry.shards}
+        if AF_INET6 in families:
+            pytest.skip("store has v6 shards")
+        assert ShardRouter(entry).route(p("2001:db8::/32")) == []
+
+
+@pytest.fixture(scope="module")
+def service(served_store):
+    return AtomQueryService(served_store, cache=ResponseCache(64))
+
+
+class TestPrefixQuery:
+    def test_parity_with_direct_store_query(self, served_store, service):
+        entry = served_store.snapshots()[0]
+        for prefix in list(served_store.atoms(entry.key).by_prefix)[:25]:
+            direct = served_store.query(prefix, key=entry.key)
+            answer = service.prefix_query(str(prefix))
+            assert answer["atom"]["id"] == direct.atom_id
+            assert answer["location"] == {
+                "shard": direct.shard,
+                "row": direct.row,
+            }
+            paths = [row["path"] for row in answer["atom"]["paths"]]
+            assert paths == [
+                None if path is None else str(path) for path in direct.paths
+            ]
+
+    def test_absent_prefix(self, service):
+        answer = service.prefix_query("203.0.113.0/24")
+        assert answer["atom"] is None and answer["location"] is None
+        assert answer["stability"]["present"] == 0
+
+    def test_history_covers_every_snapshot(self, served_store, service):
+        entries = served_store.snapshots()
+        prefix = next(iter(served_store.atoms(entries[0].key).by_prefix))
+        answer = service.prefix_query(str(prefix))
+        assert [row["snapshot"] for row in answer["history"]] == [
+            entry.key for entry in entries
+        ]
+        assert answer["stability"]["snapshots"] == len(entries)
+        assert 0 < answer["stability"]["present"] <= len(entries)
+
+    def test_snapshot_parameter(self, served_store, service):
+        entry = served_store.snapshots()[-1]
+        prefix = next(iter(served_store.atoms(entry.key).by_prefix))
+        answer = service.prefix_query(str(prefix), snapshot=entry.key)
+        assert answer["snapshot"] == entry.key
+        direct = served_store.query(prefix, key=entry.key)
+        assert answer["atom"]["id"] == direct.atom_id
+
+    def test_invalid_prefix_is_400(self, service):
+        with pytest.raises(QueryError) as info:
+            service.prefix_query("banana")
+        assert info.value.status == 400
+
+    def test_unknown_snapshot_is_404(self, service):
+        with pytest.raises(QueryError) as info:
+            service.prefix_query("10.0.0.0/8", snapshot="nope")
+        assert info.value.status == 404
+
+    def test_responses_are_cached(self, served_store):
+        cache = ResponseCache(16)
+        service = AtomQueryService(served_store, cache=cache)
+        entry = served_store.snapshots()[0]
+        prefix = next(iter(served_store.atoms(entry.key).by_prefix))
+        first = service.prefix_query(str(prefix))
+        hits_before = cache.stats()["hits"]
+        second = service.prefix_query(str(prefix))
+        assert second == first
+        assert cache.stats()["hits"] == hits_before + 1
+
+
+class TestAtomQuery:
+    def test_members_match_store(self, served_store, service):
+        entry = served_store.snapshots()[0]
+        atoms = served_store.atoms(entry.key)
+        atom = atoms.atoms[0]
+        answer = service.atom_query(0)
+        assert answer["atom"]["size"] == atom.size
+        assert set(answer["atom"]["prefixes"]) == {
+            str(prefix) for prefix in atom.prefixes
+        }
+        assert answer["atom"]["origins"] == sorted(atom.origins())
+
+    def test_timeline_spans_base_snapshots(self, served_store, service):
+        bases = [
+            entry
+            for entry in served_store.snapshots()
+            if entry.role == "base"
+        ]
+        answer = service.atom_query(0)
+        assert [row["snapshot"] for row in answer["timeline"]] == [
+            entry.key for entry in bases
+        ]
+        # In its own snapshot the atom is by definition intact and
+        # spans exactly one atom.
+        own = next(
+            row
+            for row in answer["timeline"]
+            if row["snapshot"] == answer["snapshot"]
+        )
+        assert own["intact"] and own["atoms_spanned"] == 1
+        assert own["present"] == answer["atom"]["size"]
+
+    def test_out_of_range_is_404(self, served_store, service):
+        entry = served_store.snapshots()[0]
+        for bad in (-1, entry.atom_count, entry.atom_count + 17):
+            with pytest.raises(QueryError) as info:
+                service.atom_query(bad)
+            assert info.value.status == 404
+
+
+class TestStats:
+    def test_shape_matches_manifest(self, served_store, service):
+        entries = served_store.snapshots()
+        bases = [entry for entry in entries if entry.role == "base"]
+        answer = service.stats()
+        assert answer["store"]["version"] == served_store.manifest_digest()
+        assert answer["store"]["snapshots"] == len(entries)
+        assert answer["store"]["base_snapshots"] == len(bases)
+        assert [row["key"] for row in answer["snapshots"]] == [
+            entry.key for entry in entries
+        ]
+        for row, entry in zip(answer["snapshots"], entries):
+            assert row["atoms"] == entry.atom_count
+            assert row["prefixes"] == entry.prefixes
+
+    def test_series(self, served_store, service):
+        bases = [
+            entry
+            for entry in served_store.snapshots()
+            if entry.role == "base"
+        ]
+        answer = service.stats()
+        series = answer["series"]
+        assert series["atom_counts"] == [
+            [entry.year, entry.atom_count] for entry in bases
+        ]
+        assert len(series["splits"]) == len(bases) - 1
+        assert len(series["merges"]) == len(bases) - 1
+        for year, count in series["splits"] + series["merges"]:
+            assert count >= 0 and year == bases[-1].year
+
+    def test_deterministic(self, service):
+        assert service.stats() == service.stats()
+
+
+class TestVersion:
+    def test_version_is_manifest_digest(self, served_store, service):
+        assert service.version == served_store.manifest_digest()
+        assert len(service.version) == 64

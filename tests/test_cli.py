@@ -121,3 +121,70 @@ class TestEngineFlags:
         capsys.readouterr()
         assert ck.exists()
         assert len(ck.read_text(encoding="utf-8").splitlines()) == 2
+
+
+class TestStoreErrorExits:
+    """Missing or corrupt stores exit 2 with one line — no traceback.
+
+    ``repro store query`` and ``repro serve`` both open the store up
+    front; every StoreError must surface as a single ``store error:``
+    stderr line and exit code 2.
+    """
+
+    def _corrupt_store(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "manifest.json").write_text("{ not json", encoding="utf-8")
+        return root
+
+    def test_store_query_missing_store(self, tmp_path, capsys):
+        code = main(
+            ["store", "query", str(tmp_path / "nowhere"), "10.0.0.0/8"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("store error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_store_query_corrupt_store(self, tmp_path, capsys):
+        code = main(
+            ["store", "query", str(self._corrupt_store(tmp_path)),
+             "10.0.0.0/8"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("store error:")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_serve_missing_store(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "nowhere")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("store error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_serve_corrupt_store(self, tmp_path, capsys):
+        code = main(["serve", str(self._corrupt_store(tmp_path))])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("store error:")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_store_info_missing_store(self, tmp_path, capsys):
+        code = main(["store", "info", str(tmp_path / "nowhere")])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("store error:")
+
+    def test_serve_parser_accepts_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "/tmp/store", "--host", "0.0.0.0", "--port", "9000",
+             "--cache-entries", "16", "--check"]
+        )
+        assert args.host == "0.0.0.0"
+        assert args.port == 9000
+        assert args.cache_entries == 16
+        assert args.check is True
