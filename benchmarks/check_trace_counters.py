@@ -68,6 +68,7 @@ TRACKED_PREFIXES = (
     "incremental.",
     "engine.",
     "store.",
+    "live.",
 )
 
 
@@ -134,14 +135,25 @@ def main(argv: List[str] | None = None) -> int:
     print(f"wrote {summary_path}")
 
     if args.update:
-        EXPECTATIONS.write_text(json.dumps(actual, indent=2) + "\n")
+        merged = (
+            json.loads(EXPECTATIONS.read_text())
+            if EXPECTATIONS.exists() else {}
+        )
+        merged.update(actual)
+        EXPECTATIONS.write_text(json.dumps(merged, indent=2) + "\n")
         print(f"wrote {EXPECTATIONS}")
         return 0
 
     if not EXPECTATIONS.exists():
         print(f"missing {EXPECTATIONS}; run with --update", file=sys.stderr)
         return 2
-    expected = json.loads(EXPECTATIONS.read_text())
+    # The expectations file is shared with other harnesses (the live
+    # soak owns its own key); only this script's scenarios are diffed.
+    expected = {
+        name: counters
+        for name, counters in json.loads(EXPECTATIONS.read_text()).items()
+        if name in SCENARIOS
+    }
     problems = diff(expected, actual)
     if problems:
         print("stage counter drift detected:", file=sys.stderr)

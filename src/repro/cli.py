@@ -14,6 +14,10 @@ Four subcommands mirror the measurement workflow:
   stores (see ``docs/data-format.md``);
 * ``repro serve``    — long-running HTTP/JSON atom query service over
   an on-disk store (see ``docs/serving.md``);
+* ``repro live``     — streaming atom maintenance over an archived
+  update feed: sharded incremental workers, windowed churn metrics,
+  checkpoint/resume and an optional growing-store sink (see
+  ``docs/streaming.md``);
 * ``repro profile``  — render the per-stage wall-time/counter rollup of
   a trace written by ``--trace`` (see ``docs/observability.md``).
 
@@ -29,7 +33,9 @@ without it.  Run ``python -m repro <command> --help`` for the options.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from itertools import chain
 from pathlib import Path
 from typing import List, Optional
 
@@ -62,6 +68,8 @@ from repro.store import AtomStore, StoreError
 from repro.store import FORMAT_VERSION as STORE_FORMAT_VERSION
 from repro.stream.archive import RecordArchive
 from repro.stream.bgpstream import BGPStream
+from repro.stream.live import LiveConfig, LiveError, LivePipeline
+from repro.stream.windows import render_window_table
 from repro.topology.evolution import WorldParams
 from repro.util.dates import parse_utc
 
@@ -393,6 +401,72 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return app.run(announce=print)
 
 
+def cmd_live(args: argparse.Namespace) -> int:
+    """Handle ``repro live``: stream an archive through the pipeline."""
+    archive = RecordArchive(args.archive)
+    records = chain(
+        BGPStream(archive, record_type="rib").records(),
+        BGPStream(archive, record_type="update").records(),
+    )
+    family = None
+    if args.family is not None:
+        family = AF_INET if args.family == 4 else AF_INET6
+    config = LiveConfig(
+        window_seconds=args.window,
+        shards=args.shards,
+        queue_depth=args.queue_depth,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        store_dir=args.store_dir,
+        store_merge_every=args.store_merge_every,
+        parity=args.parity,
+        max_windows=args.max_windows,
+        family=family,
+    )
+
+    def narrate(window) -> None:
+        print(
+            f"window {window.index} closed @ {window.end}: "
+            f"{window.records} records, {window.dirty} dirty, "
+            f"{window.atoms} atoms "
+            f"(+{window.created}/-{window.removed})",
+            file=sys.stderr,
+        )
+
+    pipeline = LivePipeline(records, config)
+    try:
+        run = pipeline.run(on_window=narrate if args.progress else None)
+    except LiveError as error:
+        print(f"live error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(run.as_dict(), indent=1, sort_keys=True))
+        return 0
+    if run.resumed:
+        print(f"resumed from checkpoint at window {run.resumed_from} "
+              f"({run.skipped:,} records already consumed)")
+    print(f"primed with {run.prime_records} RIB record(s), "
+          f"{len(run.vantage_points)} vantage points")
+    if run.windows:
+        print()
+        print(render_window_table(run.windows))
+    else:
+        print("no windows closed (stream exhausted before a boundary)")
+    summary = [f"{run.records:,} records in {len(run.windows)} window(s)"]
+    if run.parity_checks:
+        summary.append(f"parity verified at {run.parity_checks} boundaries")
+    if run.checkpoints:
+        summary.append(f"{run.checkpoints} checkpoint(s)")
+    if run.store_keys:
+        summary.append(f"store has {len(run.store_keys)} window snapshot(s)")
+    print()
+    print("; ".join(summary))
+    if run.stopped_early:
+        print(f"stopped after --max-windows {config.max_windows}; "
+              "resume from the checkpoint to continue")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Handle ``repro profile``: roll up a ``--trace`` JSONL file."""
     try:
@@ -526,6 +600,52 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--check", action="store_true",
                        help="verify every segment's SHA-256 on first map")
     serve.set_defaults(handler=cmd_serve)
+
+    live = commands.add_parser(
+        "live", help="stream an archived update feed through the live "
+                     "atom-maintenance pipeline"
+    )
+    live.add_argument("--archive", type=Path, required=True,
+                      help="record archive holding the RIB dump and the "
+                           "update feed (see `repro simulate`)")
+    live.add_argument("--window", type=_positive_int, default=900,
+                      help="window width in seconds (default: 900)")
+    live.add_argument("--shards", type=_positive_int, default=1,
+                      help="shard worker threads (default: 1)")
+    live.add_argument("--queue-depth", type=_positive_int, default=256,
+                      dest="queue_depth",
+                      help="bounded per-shard queue depth; the coordinator "
+                           "blocks (backpressure) when a shard falls behind")
+    live.add_argument("--checkpoint-dir", type=Path, default=None,
+                      dest="checkpoint_dir",
+                      help="save window-boundary checkpoints here; a killed "
+                           "run resumes from the last boundary")
+    live.add_argument("--checkpoint-every", type=_positive_int, default=1,
+                      dest="checkpoint_every",
+                      help="checkpoint every N closed windows (default: 1)")
+    live.add_argument("--store-dir", type=Path, default=None, dest="store_dir",
+                      help="append per-window atom snapshots to this store "
+                           "(queryable with `repro serve` while growing)")
+    live.add_argument("--store-merge-every", type=int, default=0,
+                      dest="store_merge_every",
+                      help="fold window parts into the queryable store every "
+                           "N windows (default: only at end of stream)")
+    live.add_argument("--parity", choices=("off", "window"), default="window",
+                      help="verify the streamed partition against a cold "
+                           "recompute at every window boundary (default)")
+    live.add_argument("--max-windows", type=_positive_int, default=None,
+                      dest="max_windows",
+                      help="stop after closing this many windows")
+    live.add_argument("--family", type=int, choices=(4, 6), default=None,
+                      help="restrict to one address family (default: both)")
+    live.add_argument("--trace", type=Path, default=None,
+                      help="write a JSONL span/counter trace of the run "
+                           "(live.* counters; see docs/observability.md)")
+    live.add_argument("--progress", action="store_true",
+                      help="narrate each closed window on stderr")
+    live.add_argument("--json", action="store_true",
+                      help="print the run summary as JSON")
+    live.set_defaults(handler=cmd_live)
 
     profile = commands.add_parser(
         "profile", help="render the per-stage rollup of a --trace file"

@@ -131,8 +131,13 @@ class AtomIndex:
             return
         if self._universe is not None and prefix not in self._universe:
             return
-        self._dirty.add(prefix)
-        self.stats.dirty_marked += 1
+        # Count unique dirty prefixes, not mutation events: a prefix
+        # touched twice inside one window is one unit of refresh work,
+        # and the dirty-set economy metrics must say so (the set itself
+        # always deduplicated; the counter used to double-count).
+        if prefix not in self._dirty:
+            self._dirty.add(prefix)
+            self.stats.dirty_marked += 1
 
     def apply_record(self, record: RouteRecord) -> None:
         """Fold one update record into the snapshot (hooks collect the
@@ -228,8 +233,29 @@ class AtomIndex:
 
     def refresh(self) -> int:
         """Recompute keys for the dirty set; returns its size."""
+        return len(self._refresh(collect=None))
+
+    def refresh_delta(self) -> Dict[Prefix, Optional[Tuple]]:
+        """Refresh and return the key *changes* the dirty set caused.
+
+        The mapping holds one entry per dirty prefix whose interned key
+        actually moved: the new key, or None when the prefix lost its
+        last visible path.  Prefixes whose recomputed key is pointer-
+        identical to the old one are omitted — exactly the work
+        :meth:`_apply_key` skipped.  Consumers that mirror this index's
+        groups elsewhere (the live pipeline's cross-shard merge) replay
+        the delta instead of re-reading every key.
+        """
+        delta: Dict[Prefix, Optional[Tuple]] = {}
+        self._refresh(collect=delta)
+        return delta
+
+    def _refresh(
+        self, collect: Optional[Dict[Prefix, Optional[Tuple]]]
+    ) -> Set[Prefix]:
+        """Shared refresh walk; fills ``collect`` with key changes."""
         if not self._dirty:
-            return 0
+            return set()
         tracer = get_tracer()
         with tracer.span("atoms-refresh") as span:
             tables = self._tables()
@@ -238,6 +264,8 @@ class AtomIndex:
             for prefix in dirty:
                 key = self._compute_key(prefix, tables)
                 self.stats.key_recomputations += 1
+                if collect is not None and self._keys.get(prefix) is not key:
+                    collect[prefix] = key
                 self._apply_key(prefix, key)
             self.stats.refreshes += 1
             self.stats.dirty_sizes.append(len(dirty))
@@ -250,7 +278,7 @@ class AtomIndex:
                 tracer.count("incremental.refreshes")
                 tracer.count("incremental.dirty_refreshed", len(dirty))
                 tracer.count("incremental.key_recomputations", len(dirty))
-        return len(dirty)
+        return dirty
 
     # ------------------------------------------------------------------
     # Universe and snapshot synchronisation

@@ -8,14 +8,19 @@ content-addressed jobs:
 * :mod:`repro.engine.scheduler` — :class:`ExecutionEngine`, fanning
   jobs across a process pool with deterministic result ordering;
 * :mod:`repro.engine.cache` — the on-disk content-addressed cache;
-* :mod:`repro.engine.checkpoint` — crash-safe sweep resume;
+* :mod:`repro.engine.checkpoint` — crash-safe sweep resume, plus the
+  live pipeline's window-boundary :class:`StreamCheckpoint`;
 * :mod:`repro.engine.metrics` — structured instrumentation hooks.
 
 See ``docs/engine.md`` for the architecture and the cache-key scheme.
 """
 
 from repro.engine.cache import CACHE_SALT, ResultCache, job_digest
-from repro.engine.checkpoint import CheckpointLog
+from repro.engine.checkpoint import (
+    CheckpointLog,
+    StreamCheckpoint,
+    StreamCheckpointError,
+)
 from repro.engine.jobs import (
     QuarterResult,
     SnapshotJob,
@@ -38,6 +43,8 @@ __all__ = [
     "QuarterResult",
     "ResultCache",
     "SnapshotJob",
+    "StreamCheckpoint",
+    "StreamCheckpointError",
     "build_jobs",
     "clear_worker_state",
     "execute_snapshot_batch",

@@ -1,4 +1,4 @@
-"""Checkpoint/resume for long sweeps.
+"""Checkpoint/resume for long sweeps and live streams.
 
 A :class:`CheckpointLog` is an append-only JSONL file: one line per
 completed job, ``{"key": <digest>, "label": ..., "result": {...}}``.
@@ -9,15 +9,26 @@ without recomputation, and continues from the first missing one.
 
 A truncated final line — the signature of a hard kill mid-write — is
 silently dropped on load; everything before it is preserved.
+
+:class:`StreamCheckpoint` is the live pipeline's counterpart
+(:mod:`repro.stream.live`): instead of appending completed jobs it
+replaces one *state* — the window cursor plus the full routing table
+at the last window boundary — atomically on every save.  A pipeline
+killed at any instant resumes from the last saved boundary: the RIB
+file is written (temp + rename) before ``state.json`` is swapped in,
+so the state file never references a partial table, and a kill between
+the two writes merely leaves the previous state in force.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 from pathlib import Path
-from typing import Dict
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.bgp.messages import RouteRecord
 from repro.engine.jobs import (
     QuarterResult,
     result_from_payload,
@@ -71,3 +82,184 @@ class CheckpointLog:
             self.path.unlink()
         except FileNotFoundError:
             pass
+
+
+# ----------------------------------------------------------------------
+# Streaming checkpoints
+# ----------------------------------------------------------------------
+
+#: Schema version of the stream-checkpoint state file.
+STREAM_CHECKPOINT_VERSION = 1
+
+#: Name of the state file inside a stream-checkpoint directory.
+STATE_NAME = "state.json"
+
+
+class StreamCheckpointError(RuntimeError):
+    """A checkpoint directory holds state this code cannot resume."""
+
+
+class StreamCheckpoint:
+    """Atomically replaced window-boundary state for a live pipeline.
+
+    Layout under ``directory``::
+
+        state.json          # cursor: window index/end, counters, config
+        rib-<index>.jsonl.gz  # full RIB at that boundary, one record/peer
+
+    :meth:`save` writes the RIB file first, then swaps ``state.json``
+    in via temp file + ``os.replace`` and finally deletes the previous
+    boundary's RIB file — so at every instant the on-disk state file
+    references a complete table, and a kill anywhere loses at most the
+    window in flight.  :meth:`load` returns None when no checkpoint
+    exists and raises :class:`StreamCheckpointError` when the saved
+    ``config`` digest disagrees with the resuming pipeline's (resuming
+    under a different window size or shard count would silently change
+    results).
+    """
+
+    def __init__(self, directory: os.PathLike):
+        self.directory = Path(directory)
+
+    # -- paths ----------------------------------------------------------
+
+    def _state_path(self) -> Path:
+        return self.directory / STATE_NAME
+
+    def _rib_path(self, window_index: int) -> Path:
+        return self.directory / f"rib-{window_index:08d}.jsonl.gz"
+
+    # -- save -----------------------------------------------------------
+
+    def save(
+        self,
+        window_index: int,
+        window_end: int,
+        records: List[RouteRecord],
+        config: Dict[str, Any],
+        counters: Optional[Dict[str, int]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Persist one window boundary; returns the state-file path.
+
+        ``records`` must reconstruct the boundary RIB when replayed in
+        order (one synthetic ``rib`` record per peer is the convention).
+        ``config`` is stored verbatim and checked on resume; ``meta``
+        carries resume bookkeeping the pipeline owns (replay position,
+        vantage points) and is returned untouched.
+        """
+        # Local import: repro.stream's package init pulls in the live
+        # pipeline, which imports this module back — a top-level import
+        # here would close that cycle during interpreter start-up.
+        from repro.stream.serialize import record_to_json
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        rib_path = self._rib_path(window_index)
+        tmp = rib_path.parent / f"{rib_path.name}.tmp{os.getpid()}"
+        try:
+            with gzip.open(tmp, "wt", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(record_to_json(record))
+                    handle.write("\n")
+            os.replace(tmp, rib_path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+        state = {
+            "version": STREAM_CHECKPOINT_VERSION,
+            "window_index": window_index,
+            "window_end": window_end,
+            "rib_file": rib_path.name,
+            "config": config,
+            "counters": dict(counters or {}),
+            "meta": dict(meta or {}),
+        }
+        state_path = self._state_path()
+        state_tmp = state_path.parent / f"{state_path.name}.tmp{os.getpid()}"
+        try:
+            state_tmp.write_text(
+                json.dumps(state, indent=1, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(state_tmp, state_path)
+        finally:
+            if state_tmp.exists():
+                try:
+                    state_tmp.unlink()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+        self._sweep_stale_ribs(keep=rib_path.name)
+        return state_path
+
+    def _sweep_stale_ribs(self, keep: str) -> None:
+        """Delete boundary RIB files other than the referenced one."""
+        for path in self.directory.glob("rib-*.jsonl.gz"):
+            if path.name != keep:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+
+    # -- load -----------------------------------------------------------
+
+    def load(
+        self, config: Optional[Dict[str, Any]] = None
+    ) -> Optional[Tuple[Dict[str, Any], List[RouteRecord]]]:
+        """The saved ``(state, boundary records)``, or None when absent.
+
+        When ``config`` is given it must equal the saved one — a
+        resumed pipeline must window and shard exactly like the run
+        that wrote the checkpoint.
+        """
+        state_path = self._state_path()
+        try:
+            raw = state_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        try:
+            state: Dict[str, Any] = json.loads(raw)
+        except ValueError as error:
+            raise StreamCheckpointError(
+                f"corrupt checkpoint state {state_path}: {error}"
+            ) from error
+        version = state.get("version")
+        if version != STREAM_CHECKPOINT_VERSION:
+            raise StreamCheckpointError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads v{STREAM_CHECKPOINT_VERSION})"
+            )
+        if config is not None and state.get("config") != config:
+            raise StreamCheckpointError(
+                "checkpoint was written under a different live "
+                "configuration; resume with the original settings or "
+                "start from a fresh --checkpoint-dir"
+            )
+        rib_path = self.directory / str(state.get("rib_file", ""))
+        try:
+            records = list(self._read_records(rib_path))
+        except (OSError, EOFError, ValueError) as error:
+            raise StreamCheckpointError(
+                f"cannot read checkpoint RIB {rib_path}: {error}"
+            ) from error
+        return state, records
+
+    @staticmethod
+    def _read_records(path: Path) -> Iterator[RouteRecord]:
+        from repro.stream.serialize import record_from_json
+
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield record_from_json(line)
+
+    def clear(self) -> None:
+        """Forget the saved state (state file and boundary RIBs)."""
+        try:
+            self._state_path().unlink()
+        except FileNotFoundError:
+            pass
+        self._sweep_stale_ribs(keep="")

@@ -284,3 +284,57 @@ class TestRandomizedChurn:
         # work is ~1 key/step vs len(PREFIX_POOL) for a rebuild.
         assert per_step <= 2
         assert per_step * 3 <= len(self.PREFIX_POOL)
+
+
+class TestDirtySetEconomy:
+    """dirty_marked counts unique prefixes, never mutation events.
+
+    The live pipeline reports per-window dirty-set economy straight
+    from :class:`IncrementalStats`; a prefix flapping ten times inside
+    one window is *one* unit of pending work, and the stats must say
+    so (regression: dirty_marked used to grow per mutation event).
+    """
+
+    def test_repeat_mutations_of_one_prefix_count_once(self):
+        snapshot = base_snapshot()
+        index = AtomIndex(snapshot, vantage_points=PEERS)
+        assert index.stats.dirty_marked == 0
+        for flap in range(10):
+            snapshot.apply_record(update_record(
+                PEERS[0],
+                announced=[("10.0.1.0/24", f"1 {4 + flap % 2} 9")],
+                timestamp=200 + flap,
+            ))
+        assert index.dirty_count == 1
+        assert index.stats.dirty_marked == 1
+        assert index.refresh() == 1
+        assert index.stats.dirty_sizes == [1]
+        assert_identical(index, snapshot, PEERS)
+
+    def test_distinct_prefixes_still_count_individually(self):
+        snapshot = base_snapshot()
+        index = AtomIndex(snapshot, vantage_points=PEERS)
+        snapshot.apply_record(update_record(
+            PEERS[0], announced=[("10.0.1.0/24", "1 7 9")]
+        ))
+        snapshot.apply_record(update_record(
+            PEERS[1], announced=[("10.0.1.0/24", "2 7 9"),
+                                 ("10.0.2.0/24", "2 7 9")]
+        ))
+        assert index.stats.dirty_marked == 2
+        assert index.refresh() == 2
+
+    def test_refresh_clears_then_counts_anew(self):
+        snapshot = base_snapshot()
+        index = AtomIndex(snapshot, vantage_points=PEERS)
+        snapshot.apply_record(update_record(
+            PEERS[0], announced=[("10.0.1.0/24", "1 7 9")]
+        ))
+        index.refresh()
+        snapshot.apply_record(update_record(
+            PEERS[0], announced=[("10.0.1.0/24", "1 8 9")]
+        ))
+        assert index.stats.dirty_marked == 2
+        assert index.refresh() == 1
+        assert index.stats.dirty_sizes == [1, 1]
+        assert_identical(index, snapshot, PEERS)
