@@ -53,11 +53,27 @@ BASE_ARGS = [
 #: engine/store counters drift between runs).
 STORE_DIR_TOKEN = "{STORE_DIR}"
 
+#: The convergence smoke: the same tiny world run through the
+#: discrete-event engine, once per gated scenario class.  Event,
+#: message, and update-record counts are exact functions of the seed,
+#: so any drift means the engine's behavior changed.
+CONVERGE_ARGS = [
+    "converge",
+    "--scale", "400",
+    "--peer-scale", "0.03",
+    "--seed", "20250701",
+    "--start", "2004-01-15",
+]
+
 SCENARIOS: Dict[str, List[str]] = {
     "trend": BASE_ARGS + ["--last-year", "2006", "--no-stability"],
     "trend-incremental": BASE_ARGS + ["--last-year", "2005", "--incremental"],
     "trend-store": BASE_ARGS + ["--last-year", "2005",
                                 "--store-dir", STORE_DIR_TOKEN],
+    "converge-flap": CONVERGE_ARGS + ["--scenario", "flap-storm",
+                                      "--snapshot-at", "120"],
+    "converge-leak": CONVERGE_ARGS + ["--scenario", "leak"],
+    "converge-failover": CONVERGE_ARGS + ["--scenario", "failover"],
 }
 
 #: Only counters are gated; every one is an exact count, never a timing.
@@ -69,6 +85,7 @@ TRACKED_PREFIXES = (
     "engine.",
     "store.",
     "live.",
+    "sim.",
 )
 
 

@@ -18,6 +18,10 @@ Four subcommands mirror the measurement workflow:
   update feed: sharded incremental workers, windowed churn metrics,
   checkpoint/resume and an optional growing-store sink (see
   ``docs/streaming.md``);
+* ``repro converge`` — run the discrete-event convergence engine over a
+  named scenario (flap storms, route leaks, multihoming failover) with
+  mid-convergence snapshots and a quiescence-parity check against the
+  equilibrium renderer (see ``docs/simulation.md``);
 * ``repro profile``  — render the per-stage wall-time/counter rollup of
   a trace written by ``--trace`` (see ``docs/observability.md``).
 
@@ -63,7 +67,8 @@ from repro.obs import (
 from repro.reporting.tables import render_table
 from repro.serve.app import ServeApp
 from repro.serve.cache import DEFAULT_MAX_ENTRIES
-from repro.simulation.scenario import SimulatedInternet
+from repro.simulation.events import ConvergenceError, quiescence_parity
+from repro.simulation.scenario import SCENARIOS, SimulatedInternet
 from repro.store import AtomStore, StoreError
 from repro.store import FORMAT_VERSION as STORE_FORMAT_VERSION
 from repro.stream.archive import RecordArchive
@@ -467,6 +472,68 @@ def cmd_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_converge(args: argparse.Namespace) -> int:
+    """Handle ``repro converge``: run the discrete-event engine."""
+    params = _world_params(args)
+    family = AF_INET if args.family == 4 else AF_INET6
+    sim = SimulatedInternet(params, start=args.start)
+    record_updates = args.archive is not None
+    try:
+        run = sim.converge(
+            args.start,
+            scenario=args.scenario,
+            family=family,
+            mrai=args.mrai,
+            record_updates=record_updates,
+        )
+    except (ValueError, ConvergenceError) as error:
+        print(f"converge error: {error}", file=sys.stderr)
+        return 2
+    for line in run.narration:
+        print(line)
+    baseline = list(run.rib_records()) if record_updates else None
+
+    try:
+        for offset in sorted(set(args.snapshot_at or [])):
+            run.run_until(run.scenario_start + offset)
+            records = list(run.rib_records())
+            computation = compute_policy_atoms(records)
+            print(
+                f"snapshot at t+{offset:.0f}s: {len(records)} records, "
+                f"{len(computation.atoms)} atoms"
+            )
+        if args.max_events is not None:
+            final = run.run_to_quiescence(max_events=args.max_events)
+        else:
+            final = run.run_to_quiescence()
+    except ConvergenceError as error:
+        print(f"converge error: {error}", file=sys.stderr)
+        return 2
+    print(f"quiescent at sim t={final:.1f}s "
+          f"({final - run.scenario_start:.1f}s after the scenario began)")
+
+    if args.parity:
+        problems = quiescence_parity(run, sim.engine)
+        if problems:
+            print("quiescence parity FAILED:", file=sys.stderr)
+            for problem in problems[:10]:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        final_records = list(run.rib_records())
+        print(f"quiescence parity ok: {len(final_records)} records "
+              "value-identical to the equilibrium renderer")
+
+    if args.archive is not None:
+        archive = RecordArchive(args.archive)
+        written = archive.write_dump(baseline or [])
+        updates = run.update_records()
+        written += archive.write_dump(updates)
+        print(f"archived {len(baseline or [])} RIB record(s) and "
+              f"{len(updates)} update record(s) in {len(written)} dump(s) "
+              f"under {args.archive} (replay with `repro live`)")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Handle ``repro profile``: roll up a ``--trace`` JSONL file."""
     try:
@@ -646,6 +713,41 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--json", action="store_true",
                       help="print the run summary as JSON")
     live.set_defaults(handler=cmd_live)
+
+    converge = commands.add_parser(
+        "converge", help="run the discrete-event convergence engine over "
+                         "one scenario"
+    )
+    _add_world_options(converge)
+    converge.add_argument("--start", default="2004-01-15 00:00")
+    converge.add_argument("--scenario", choices=sorted(SCENARIOS),
+                          default="quiet",
+                          help="perturbation schedule to apply after the "
+                               "initial convergence (see docs/simulation.md)")
+    converge.add_argument("--mrai", type=float, default=30.0,
+                          help="per-neighbor MRAI hold time in sim seconds "
+                               "(default: 30)")
+    converge.add_argument("--snapshot-at", type=float, action="append",
+                          dest="snapshot_at", metavar="SECONDS",
+                          help="render a mid-convergence RIB snapshot this "
+                               "many sim seconds after the scenario starts "
+                               "(repeatable)")
+    converge.add_argument("--archive", type=Path, default=None,
+                          help="write the converged RIB baseline plus the "
+                               "recorded update stream to this archive "
+                               "(replay with `repro live`)")
+    converge.add_argument("--parity", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="compare the quiescent tables against the "
+                               "equilibrium renderer (default: on)")
+    converge.add_argument("--max-events", type=int, default=None,
+                          dest="max_events",
+                          help="abort if quiescence needs more than this "
+                               "many events")
+    converge.add_argument("--trace", type=Path, default=None,
+                          help="write a JSONL span/counter trace of the run "
+                               "(sim.* counters; see docs/observability.md)")
+    converge.set_defaults(handler=cmd_converge)
 
     profile = commands.add_parser(
         "profile", help="render the per-stage rollup of a --trace file"

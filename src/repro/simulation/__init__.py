@@ -2,23 +2,50 @@
 
 ``routing`` computes the valley-free routes every vantage point selects;
 ``snapshot`` renders them into collector RIB records; ``updates``
-generates the post-snapshot UPDATE stream; ``artifacts`` corrupts the
+generates the post-snapshot UPDATE stream; ``events`` runs the
+discrete-event convergence engine (timed announcements, MRAI timers,
+session resets, scheduled perturbations); ``artifacts`` corrupts the
 data the way real collectors do; ``scenario`` ties it together behind a
-single ``SimulatedInternet`` facade.
+single ``SimulatedInternet`` facade and hosts the convergence scenario
+taxonomy.
 """
 
-from repro.simulation.routing import PropagationEngine, Route, propagate
-from repro.simulation.scenario import SimulatedInternet
+from repro.simulation.events import (
+    ConvergenceError,
+    ConvergenceRun,
+    EventPropagationView,
+    quiescence_parity,
+)
+from repro.simulation.routing import (
+    PropagationEngine,
+    Route,
+    RouteSource,
+    propagate,
+)
+from repro.simulation.scenario import (
+    SCENARIOS,
+    ConvergenceScenario,
+    SimulatedInternet,
+    apply_scenario,
+)
 from repro.simulation.snapshot import render_rib_records, render_snapshot
 from repro.simulation.updates import UpdateStreamConfig, generate_update_records
 
 __all__ = [
+    "SCENARIOS",
+    "ConvergenceError",
+    "ConvergenceRun",
+    "ConvergenceScenario",
+    "EventPropagationView",
     "PropagationEngine",
     "Route",
+    "RouteSource",
     "SimulatedInternet",
     "UpdateStreamConfig",
+    "apply_scenario",
     "generate_update_records",
     "propagate",
+    "quiescence_parity",
     "render_rib_records",
     "render_snapshot",
 ]

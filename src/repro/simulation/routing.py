@@ -31,7 +31,17 @@ the peer's own ASN, matching what collectors log.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+)
 
 from repro.topology.model import ASGraph, Relationship
 from repro.topology.policies import OriginPolicy, PolicyUnit, TransitPolicy
@@ -57,6 +67,20 @@ class Route(NamedTuple):
 
 #: {asn: {unit_id: Route}}
 PropagationResult = Dict[int, Dict[int, Route]]
+
+
+class RouteSource(Protocol):
+    """Anything that answers per-origin route queries at a target set.
+
+    Implemented by :class:`PropagationEngine` (the equilibrium fixed
+    point) and by ``repro.simulation.events.EventPropagationView`` (the
+    discrete-event engine's live state), so the snapshot renderer works
+    identically over both.
+    """
+
+    def routes(self, policy: OriginPolicy, targets: FrozenSet[int]) -> PropagationResult:
+        """Routes for one origin's units at the target ASes."""
+        ...
 
 
 class GraphView:
@@ -139,6 +163,7 @@ def propagate(
     levels: Dict[int, List[Tuple[int, int, Tuple[int, ...], Tuple[PolicyUnit, ...]]]] = defaultdict(list)
 
     def seed_groups(neighbor: int) -> Dict[int, List[PolicyUnit]]:
+        """Units announced to ``neighbor``, grouped by prepend count."""
         groups: Dict[int, List[PolicyUnit]] = defaultdict(list)
         for unit in units:
             if unit.announces_to(neighbor):
@@ -186,6 +211,7 @@ def propagate(
 
     def offer_peer(receiver: int, sender: int, path: Tuple[int, ...],
                    group: Iterable[PolicyUnit]) -> None:
+        """Offer a peer route to ``receiver`` unless a customer route wins."""
         table = peer_routes[receiver]
         customer_table = customer_routes.get(receiver)
         route = Route(CLASS_PEER, len(path), path)
@@ -231,6 +257,7 @@ def propagate(
     levels = defaultdict(list)
 
     def seed_down(asn: int, table: Dict[int, Route]) -> None:
+        """Export ``asn``'s selected routes down to its customers."""
         by_route: Dict[Route, List[PolicyUnit]] = defaultdict(list)
         for unit_id, route in table.items():
             by_route[route].append(unit_by_id[unit_id])

@@ -19,7 +19,7 @@ from repro.bgp.rib import RIBSnapshot
 from repro.net.aspath import ASPath
 from repro.net.prefix import AF_INET, Prefix
 from repro.simulation import artifacts as art
-from repro.simulation.routing import PropagationEngine, Route
+from repro.simulation.routing import Route, RouteSource
 from repro.topology.world import PeerSpec, World
 from repro.util.determinism import derive_rng
 
@@ -30,7 +30,7 @@ RIB_RECORD_CHUNK = 1000
 
 def _vp_tables(
     world: World,
-    engine: PropagationEngine,
+    engine: RouteSource,
     family: int,
 ) -> Dict[int, Dict[Prefix, Tuple[Route, Optional[Community]]]]:
     """Best route per (vantage-point AS, prefix), MOAS resolved."""
@@ -71,6 +71,7 @@ class _AttributeFactory:
 
     def element(self, prefix: Prefix, route: Route,
                 tag: Optional[Community]) -> RouteElement:
+        """Build one RIB element, applying the peer's artifact quirks."""
         peer = self.peer
         origin_asn = route.path[-1]
         mutate_as_set = (
@@ -106,7 +107,7 @@ class _AttributeFactory:
 
 def render_rib_records(
     world: World,
-    engine: PropagationEngine,
+    engine: RouteSource,
     family: int = AF_INET,
     when: Optional[int] = None,
 ) -> Iterator[RouteRecord]:
@@ -199,7 +200,7 @@ def _stuck_route_records(world: World, moment: int) -> Iterator[RouteRecord]:
 
 def render_snapshot(
     world: World,
-    engine: PropagationEngine,
+    engine: RouteSource,
     family: int = AF_INET,
     when: Optional[int] = None,
 ) -> RIBSnapshot:

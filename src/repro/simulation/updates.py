@@ -16,6 +16,14 @@ the world's routing state:
 
 Volatile units (the same ones driving snapshot churn) flap more often,
 keeping the update stream and the stability analysis consistent.
+
+Events are not pure refreshes: with :attr:`UpdateStreamConfig.path_change_prob`
+a shared-fate event announces an *altered* AS path (an extra origin
+prepend) and restores the original shortly after, and with
+:attr:`UpdateStreamConfig.flap_withdraw_prob` a prefix flap is a
+withdraw-then-reannounce pair.  Consumers that track selected paths —
+``repro live``, :mod:`repro.core.incremental` — therefore see real
+best-path changes and nonzero per-window churn, not just timestamps.
 """
 
 from __future__ import annotations
@@ -50,6 +58,12 @@ class UpdateStreamConfig:
     #: per-extra-prefix decay of the packing probability
     pack_full_decay: float = 0.03
     pack_full_floor: float = 0.25
+    #: probability a shared-fate event announces an altered AS path
+    #: (extra origin prepend) before restoring the original — this is
+    #: what makes the stream change selected paths, not just refresh
+    path_change_prob: float = 0.35
+    #: probability a single-prefix flap withdraws before re-announcing
+    flap_withdraw_prob: float = 0.4
 
     @classmethod
     def for_year(cls, year: float) -> "UpdateStreamConfig":
@@ -82,6 +96,16 @@ def _poisson(rng: random.Random, lam: float) -> int:
 def _announcement(peer: PeerSpec, prefix: Prefix, route: Route) -> RouteElement:
     path = ASPath.from_asns((peer.asn,) + route.path)
     return RouteElement(ElementType.ANNOUNCEMENT, prefix, PathAttributes(path))
+
+
+def _withdrawal(prefix: Prefix) -> RouteElement:
+    return RouteElement(ElementType.WITHDRAWAL, prefix, None)
+
+
+def _prepended(route: Route) -> Route:
+    """The same route with one extra origin prepend (a longer AS path)."""
+    return Route(route.pref_class, route.length + 1,
+                 route.path + (route.path[-1],))
 
 
 def _event_groups(world: World, tables, family: int,
@@ -142,13 +166,24 @@ def generate_update_records(
     window = int(hours * HOUR)
     records: List[RouteRecord] = []
 
-    def emit(peer: PeerSpec, when: int, prefixes: Sequence[Prefix]) -> None:
+    def emit(peer: PeerSpec, when: int, prefixes: Sequence[Prefix],
+             altered: bool = False, withdraw: bool = False) -> None:
+        """Append one update record for ``peer`` covering ``prefixes``."""
         table = tables[peer.asn]
-        elements = [
-            _announcement(peer, prefix, table[prefix][0])
-            for prefix in prefixes
-            if prefix in table
-        ]
+        if withdraw:
+            elements = [
+                _withdrawal(prefix) for prefix in prefixes if prefix in table
+            ]
+        else:
+            elements = [
+                _announcement(
+                    peer,
+                    prefix,
+                    _prepended(table[prefix][0]) if altered else table[prefix][0],
+                )
+                for prefix in prefixes
+                if prefix in table
+            ]
         if elements:
             records.append(
                 RouteRecord(
@@ -181,6 +216,12 @@ def generate_update_records(
             else:
                 count = max(1, int(len(peers) * rng.uniform(0.05, 0.4)))
                 affected = rng.sample(peers, count)
+            # An actual path change: the event announces a prepended
+            # path, held for a short time, then restores the original.
+            # Both legs hit the same peers so every consumer converges
+            # back to the snapshot state by end of window.
+            changed = rng.random() < config.path_change_prob
+            hold = rng.randrange(30, 120) if changed else 0
             for peer in affected:
                 carried = [
                     prefix for prefix in prefixes if prefix in tables[peer.asn]
@@ -192,14 +233,16 @@ def generate_update_records(
                     len(carried) == 1
                     or rng.random() < config.pack_probability(len(carried))
                 ):
-                    emit(peer, when + jitter, carried)
+                    emit(peer, when + jitter, carried, altered=changed)
                 else:
                     split = rng.randrange(1, len(carried))
                     shuffled = carried[:]
                     rng.shuffle(shuffled)
-                    emit(peer, when + jitter, shuffled[:split])
+                    emit(peer, when + jitter, shuffled[:split], altered=changed)
                     emit(peer, when + jitter + rng.randrange(1, 40),
-                         shuffled[split:])
+                         shuffled[split:], altered=changed)
+                if changed:
+                    emit(peer, when + jitter + hold, carried)
 
     # ---- single-prefix flaps --------------------------------------------
     all_prefixes: List[Prefix] = []
@@ -214,9 +257,18 @@ def generate_update_records(
             if rng.random() < 0.1
             else rng.sample(peers, max(1, len(peers) // 20))
         )
+        # A real flap: the route vanishes, then comes back.  Without
+        # the withdrawal leg the "flap" would be a no-op refresh.
+        flap_down = rng.random() < config.flap_withdraw_prob
+        back = rng.randrange(10, 60) if flap_down else 0
         for peer in witnesses:
             if prefix in tables[peer.asn]:
-                emit(peer, when + rng.randrange(0, 10), [prefix])
+                offset = rng.randrange(0, 10)
+                if flap_down:
+                    emit(peer, when + offset, [prefix], withdraw=True)
+                    emit(peer, when + offset + back, [prefix])
+                else:
+                    emit(peer, when + offset, [prefix])
 
     # ---- session resets --------------------------------------------------
     for peer in peers:

@@ -54,6 +54,31 @@ class TestStream:
             for element in record.elements:
                 assert element.prefix.family == AF_INET6
 
+    def test_stream_changes_selected_paths(self, update_stream):
+        """Updates must *move* routes, not just refresh timestamps."""
+        from collections import defaultdict
+
+        from repro.bgp.messages import ElementType
+
+        _, _, records = update_stream
+        withdrawals = sum(
+            1
+            for record in records
+            for element in record.elements
+            if element.element_type == ElementType.WITHDRAWAL
+        )
+        assert withdrawals > 0, "flaps must include withdraw legs"
+        paths = defaultdict(set)
+        for record in records:
+            for element in record.elements:
+                if element.element_type == ElementType.ANNOUNCEMENT:
+                    paths[(record.peer_asn, element.prefix)].add(
+                        str(element.attributes.as_path)
+                    )
+        assert any(len(seen) > 1 for seen in paths.values()), (
+            "some (peer, prefix) must see more than one AS path"
+        )
+
     def test_determinism(self):
         def build():
             sim = SimulatedInternet(TEST_WORLD, start="2014-01-15 08:00")

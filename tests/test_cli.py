@@ -188,3 +188,82 @@ class TestStoreErrorExits:
         assert args.port == 9000
         assert args.cache_entries == 16
         assert args.check is True
+
+
+class TestConverge:
+    """``repro converge`` runs the event engine end to end."""
+
+    ARGS = ["converge", "--start", "2004-01-15"] + COMMON
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["converge"])
+        assert args.scenario == "quiet"
+        assert args.mrai == 30.0
+        assert args.parity is True
+        assert args.snapshot_at is None
+
+    def test_no_parity_flag(self):
+        args = build_parser().parse_args(["converge", "--no-parity"])
+        assert args.parity is False
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["converge", "--scenario", "nope"])
+
+    def test_quiet_scenario_reaches_parity(self, capsys):
+        code = main(self.ARGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "quiescence parity ok" in out
+
+    def test_flap_storm_with_snapshots(self, capsys):
+        code = main(
+            self.ARGS + ["--scenario", "flap-storm", "--snapshot-at", "120"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flap-storm:" in out
+        assert "snapshot at t+120s" in out
+        assert "quiescence parity ok" in out
+
+    def test_max_events_budget(self, capsys):
+        code = main(
+            self.ARGS + ["--scenario", "flap-storm", "--max-events", "3"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("converge error:")
+
+    def test_archive_feeds_live(self, tmp_path, capsys):
+        archive = tmp_path / "conv"
+        code = main(
+            self.ARGS
+            + ["--scenario", "flap-storm", "--archive", str(archive)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "archived" in out and "update record(s)" in out
+
+        code = main(
+            ["live", "--archive", str(archive), "--window", "60",
+             "--parity", "off"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Live window metrics" in out
+
+    def test_trace_has_sim_counters(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(self.ARGS + ["--trace", str(trace)])
+        capsys.readouterr()
+        assert code == 0
+        counters = {
+            record["name"]: record["value"]
+            for record in map(json.loads, trace.read_text().splitlines())
+            if record.get("type") == "counter"
+        }
+        assert counters.get("sim.routers", 0) > 0
+        assert counters.get("sim.events", 0) > 0
+        assert counters.get("sim.messages", 0) > 0
