@@ -53,6 +53,10 @@ BASE_ARGS = [
 #: engine/store counters drift between runs).
 STORE_DIR_TOKEN = "{STORE_DIR}"
 
+#: Same, for ``--world-checkpoint-dir``: wiped each run so the save
+#: counter (idempotent writes skip existing files) stays exact.
+WORLD_DIR_TOKEN = "{WORLD_DIR}"
+
 #: The convergence smoke: the same tiny world run through the
 #: discrete-event engine, once per gated scenario class.  Event,
 #: message, and update-record counts are exact functions of the seed,
@@ -70,6 +74,19 @@ SCENARIOS: Dict[str, List[str]] = {
     "trend-incremental": BASE_ARGS + ["--last-year", "2005", "--incremental"],
     "trend-store": BASE_ARGS + ["--last-year", "2005",
                                 "--store-dir", STORE_DIR_TOKEN],
+    # Columnar exchange: two workers publish framed segments, the
+    # parent claims them — segment sizes are a pure function of the
+    # seeded results, so bytes_claimed is an exact count.
+    "trend-exchange": BASE_ARGS + ["--last-year", "2005", "--no-stability",
+                                   "--jobs", "2", "--exchange", "columnar"],
+    # World-lineage checkpoints on the serial path: the stability
+    # cadence is dense enough that stride-4 saves land, and the save
+    # count is an exact function of the sweep's instant schedule.
+    # (Restores only fire in freshly forked workers, whose tracers
+    # never reach the parent trace — the unit tests gate those.)
+    "trend-worldckpt": BASE_ARGS + ["--last-year", "2005",
+                                    "--world-checkpoint-dir",
+                                    WORLD_DIR_TOKEN],
     "converge-flap": CONVERGE_ARGS + ["--scenario", "flap-storm",
                                       "--snapshot-at", "120"],
     "converge-leak": CONVERGE_ARGS + ["--scenario", "leak"],
@@ -83,6 +100,7 @@ TRACKED_PREFIXES = (
     "atoms.",
     "incremental.",
     "engine.",
+    "exchange.",
     "store.",
     "live.",
     "sim.",
@@ -95,13 +113,15 @@ def run_scenarios(output_dir: Path) -> Dict[str, Dict[str, int]]:
     collected: Dict[str, Dict[str, int]] = {}
     for name, cli_args in SCENARIOS.items():
         trace_path = output_dir / f"trace_{name}.jsonl"
-        if STORE_DIR_TOKEN in cli_args:
-            store_dir = output_dir / f"store_{name}"
-            shutil.rmtree(store_dir, ignore_errors=True)
-            cli_args = [
-                str(store_dir) if arg == STORE_DIR_TOKEN else arg
-                for arg in cli_args
-            ]
+        for token, prefix in ((STORE_DIR_TOKEN, "store"),
+                              (WORLD_DIR_TOKEN, "world")):
+            if token in cli_args:
+                target = output_dir / f"{prefix}_{name}"
+                shutil.rmtree(target, ignore_errors=True)
+                cli_args = [
+                    str(target) if arg == token else arg
+                    for arg in cli_args
+                ]
         code = repro_main(cli_args + ["--trace", str(trace_path)])
         if code != 0:
             raise SystemExit(f"scenario {name!r} exited with {code}")

@@ -43,6 +43,9 @@ class Community:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Community is immutable")
 
+    def __reduce__(self) -> Tuple[type, Tuple[int, int]]:
+        return (Community, (self.asn, self.value))
+
     @classmethod
     def parse(cls, text: str) -> "Community":
         asn_text, _, value_text = text.partition(":")
@@ -96,6 +99,14 @@ class PathAttributes:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("PathAttributes is immutable")
+
+    def __reduce__(
+        self,
+    ) -> Tuple[type, Tuple[ASPath, FrozenSet[Community], int, int, Origin]]:
+        return (
+            PathAttributes,
+            (self.as_path, self.communities, self.med, self.local_pref, self.origin),
+        )
 
     def with_path(self, as_path: ASPath) -> "PathAttributes":
         """A copy with a different AS path."""

@@ -55,6 +55,11 @@ class RouteElement:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("RouteElement is immutable")
 
+    def __reduce__(
+        self,
+    ) -> Tuple[type, Tuple[ElementType, Prefix, Optional[PathAttributes]]]:
+        return (RouteElement, (self.element_type, self.prefix, self.attributes))
+
     @property
     def is_withdrawal(self) -> bool:
         return self.element_type == ElementType.WITHDRAWAL
@@ -136,6 +141,21 @@ class RouteRecord:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("RouteRecord is immutable")
+
+    def __reduce__(self) -> Tuple[type, Tuple]:
+        return (
+            RouteRecord,
+            (
+                self.record_type,
+                self.project,
+                self.collector,
+                self.peer_asn,
+                self.peer_address,
+                self.timestamp,
+                self.elements,
+                self.corrupt_warning,
+            ),
+        )
 
     @property
     def peer_id(self) -> Tuple[str, int, str]:

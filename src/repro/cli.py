@@ -129,6 +129,22 @@ def _add_engine_options(parser: argparse.ArgumentParser,
                         help="write a JSONL span/counter trace of the run "
                              "to this file (see docs/observability.md); "
                              "output is unchanged")
+    parser.add_argument("--exchange", choices=("json", "columnar"),
+                        default="json",
+                        help="worker result transport on parallel runs: "
+                             "json (default) or the zero-copy columnar "
+                             "plane over shared memory / spool files "
+                             "(identical results)")
+    parser.add_argument("--exchange-dir", type=Path, default=None,
+                        dest="exchange_dir",
+                        help="spool columnar result segments through this "
+                             "directory instead of shared memory")
+    parser.add_argument("--world-checkpoint-dir", type=Path, default=None,
+                        dest="world_checkpoint_dir",
+                        help="persist world-lineage checkpoints here; "
+                             "freshly forked workers resume from the "
+                             "nearest checkpoint instead of replaying "
+                             "the world from birth")
     if with_checkpoint:
         parser.add_argument("--checkpoint", type=Path, default=None,
                             help="completion log; a killed sweep resumes "
@@ -148,13 +164,20 @@ def _build_engine(args: argparse.Namespace) -> ExecutionEngine:
     return ExecutionEngine(
         jobs=args.jobs,
         batch=args.batch,
-        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        cache=(
+            ResultCache(args.cache_dir, binary=args.exchange == "columnar")
+            if args.cache_dir
+            else None
+        ),
         checkpoint=(
             CheckpointLog(args.checkpoint)
             if getattr(args, "checkpoint", None)
             else None
         ),
         hooks=(progress_hook(sys.stderr),) if args.progress else (),
+        exchange=args.exchange,
+        exchange_dir=args.exchange_dir,
+        world_checkpoint_dir=args.world_checkpoint_dir,
     )
 
 

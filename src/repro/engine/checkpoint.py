@@ -23,10 +23,15 @@ the two writes merely leaves the previous state in force.
 from __future__ import annotations
 
 import gzip
+import hashlib
 import json
 import os
+import pickle
+import struct
+import uuid
+from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bgp.messages import RouteRecord
 from repro.engine.jobs import (
@@ -263,3 +268,165 @@ class StreamCheckpoint:
         except FileNotFoundError:
             pass
         self._sweep_stale_ribs(keep="")
+
+
+# ----------------------------------------------------------------------
+# World-lineage checkpoints
+# ----------------------------------------------------------------------
+
+#: Magic bytes opening every world-checkpoint file.
+WORLD_MAGIC = b"RPWC"
+
+#: World-checkpoint format version; bump on layout or pickle changes.
+WORLD_CHECKPOINT_VERSION = 1
+
+#: File header: magic + version, followed by a raw 32-byte SHA-256 of
+#: the gzip blob and the blob itself.
+WORLD_HEADER = struct.Struct(">4sH")
+
+#: Default save cadence: every N applied ``advance_to`` instants (one
+#: quarter's stability suite is four instants).
+DEFAULT_WORLD_STRIDE = 4
+
+
+class WorldCheckpoint:
+    """Persisted world states, keyed by (params, birth, cadence) lineage.
+
+    A simulated world's state is a pure function of its
+    :class:`~repro.topology.evolution.WorldParams`, its birth instant
+    and the exact ``advance_to`` cadence applied since — the invariant
+    the engine's per-process world cache already relies on.  This class
+    makes that lineage durable: :meth:`save` snapshots a world at its
+    applied cadence (atomic tmp+replace, digest-stamped like
+    :class:`StreamCheckpoint`), and :meth:`restore` hands a freshly
+    forked worker the *nearest* saved prefix of a job's warmup so the
+    cold start replays only the gap instead of the whole history.
+
+    File names are fully content-addressed —
+    ``world-<lineage16>-<length>-<cadence digest12>.ckpt`` — so lookup
+    is an existence probe per candidate prefix length, longest first,
+    and concurrent writers of the same lineage are idempotent.  Any
+    damage (bad magic, version skew, digest or cadence mismatch,
+    unpicklable blob) is treated as a miss: the file is dropped and the
+    worker falls back to the next shorter prefix or a from-birth replay.
+    """
+
+    def __init__(
+        self, directory: os.PathLike, stride: int = DEFAULT_WORLD_STRIDE
+    ):
+        self.directory = Path(directory)
+        self.stride = max(1, int(stride))
+
+    # -- naming ---------------------------------------------------------
+
+    @staticmethod
+    def _lineage(params: Any, start: int) -> str:
+        from repro.engine.cache import content_digest
+
+        return content_digest(
+            {"world": asdict(params), "start": int(start)},
+            salt="repro-world-v1",
+        )[:16]
+
+    @staticmethod
+    def _cadence_digest(cadence: Sequence[int]) -> str:
+        packed = b"".join(int(when).to_bytes(8, "big") for when in cadence)
+        return hashlib.sha256(packed).hexdigest()[:12]
+
+    def path_for(
+        self, params: Any, start: int, cadence: Sequence[int]
+    ) -> Path:
+        """The content-addressed file for one exact world state."""
+        return self.directory / (
+            f"world-{self._lineage(params, start)}-{len(cadence):06d}-"
+            f"{self._cadence_digest(cadence)}.ckpt"
+        )
+
+    # -- save -----------------------------------------------------------
+
+    def save(self, internet: Any, applied: Sequence[int]) -> Optional[Path]:
+        """Snapshot a world at its applied cadence; None if it exists.
+
+        The state is deterministic in the lineage, so an existing file
+        is necessarily identical — skipping the write makes concurrent
+        workers racing on the same boundary cheap and idempotent.
+        """
+        cadence = tuple(int(when) for when in applied)
+        path = self.path_for(internet.params, internet.start, cadence)
+        if path.exists():
+            return None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = gzip.compress(
+            pickle.dumps(
+                (cadence, internet), protocol=pickle.HIGHEST_PROTOCOL
+            ),
+            compresslevel=1,
+            mtime=0,
+        )
+        image = (
+            WORLD_HEADER.pack(WORLD_MAGIC, WORLD_CHECKPOINT_VERSION)
+            + hashlib.sha256(blob).digest()
+            + blob
+        )
+        # Unique per call: parallel workers may save the same boundary.
+        tmp = path.parent / f"{path.name}.tmp{os.getpid()}-{uuid.uuid4().hex}"
+        try:
+            tmp.write_bytes(image)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+        return path
+
+    # -- restore --------------------------------------------------------
+
+    def restore(
+        self, params: Any, start: int, cadence: Sequence[int]
+    ) -> Optional[Tuple[Any, List[int]]]:
+        """The saved world at the longest prefix of ``cadence``, or None.
+
+        Returns ``(internet, applied)`` where ``applied`` is the list
+        of instants the restored world has already walked — the same
+        shape the engine's per-process world cache tracks.
+        """
+        instants = [int(when) for when in cadence]
+        for length in range(len(instants), 0, -1):
+            prefix = instants[:length]
+            path = self.path_for(params, start, prefix)
+            if not path.is_file():
+                continue
+            internet = self._load(path, tuple(prefix))
+            if internet is not None:
+                return internet, list(prefix)
+        return None
+
+    def _load(self, path: Path, expected_cadence: Tuple[int, ...]) -> Any:
+        """Verify + unpickle one file; any damage is a silent miss."""
+        try:
+            data = path.read_bytes()
+            magic, version = WORLD_HEADER.unpack_from(data, 0)
+            if magic != WORLD_MAGIC:
+                raise ValueError(f"bad world magic {magic!r}")
+            if version != WORLD_CHECKPOINT_VERSION:
+                raise ValueError(f"unsupported world version {version}")
+            offset = WORLD_HEADER.size
+            stamp = data[offset:offset + 32]
+            blob = data[offset + 32:]
+            if hashlib.sha256(blob).digest() != stamp:
+                raise ValueError("world checkpoint digest mismatch")
+            stored_cadence, internet = pickle.loads(gzip.decompress(blob))
+            if tuple(stored_cadence) != expected_cadence:
+                raise ValueError("world checkpoint cadence mismatch")
+            return internet
+        except Exception:
+            # A corrupt checkpoint must never fail a sweep — the world
+            # is always recomputable.  Drop the file so the next run
+            # rewrites it cleanly.
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            return None

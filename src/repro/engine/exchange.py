@@ -1,0 +1,629 @@
+"""The zero-copy result plane: binary worker→parent result exchange.
+
+On the parallel path, workers historically returned every
+:class:`~repro.engine.jobs.QuarterResult` as a ``result_to_payload``
+JSON dict pickled across the pool boundary.  This module gives the
+engine a second, columnar transport: a worker encodes its result as a
+framed RPST segment (:mod:`repro.store.format` — same header, LEB128
+varints, native-endian columns, embedded SHA-256) and publishes the
+image into a ``multiprocessing.shared_memory`` block or an mmap-able
+spool file; the parent attaches, verifies the digest and reconstructs
+the result with ``memoryview.cast`` column reads — no JSON decode, no
+pickled object graph.
+
+The wire image (``KIND_RESULT``) is::
+
+    header (16B)  | sha256 (32B) | body
+    body:
+      fixed struct  version, month, family, year, record counts,
+                    the eight GeneralStats fields
+      columns       formation_shares, formation_shares_no_single and
+                    update_pr_full as u32 key + f64 value columns
+                    (update_pr_full adds a u8 presence mask for None)
+      tail          label, stability, feed, report, incremental via a
+                    type-tagged binary value codec (uvarint framed,
+                    dict insertion order preserved)
+
+The tagged codec is *type-preserving* — int dict keys stay ints, tuples
+round-trip as lists exactly like the JSON codec — so a decoded result
+is value-identical to one that crossed the JSON path, which is what the
+parity gate in ``benchmarks/run_benchmarks.py`` asserts byte-for-byte.
+
+Transports:
+
+* ``shm`` — the worker creates a named ``SharedMemory`` block (and
+  unregisters it from its own ``resource_tracker``: the *parent* owns
+  the lifetime and unlinks after claiming); block names embed the
+  parent pid so :class:`ResultPlane` can sweep orphans of dead runs.
+* ``file`` — the worker atomically writes ``<spool>/<uuid>.seg``; the
+  parent mmaps it read-only and deletes it after the claim.
+
+``ResultPlane`` picks ``shm`` when the platform supports it and falls
+back to the file spool otherwise; both sides of a run always agree
+because the worker only ever sees the parent's :meth:`ResultPlane.spec`.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import tempfile
+import uuid
+from array import array
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.intern import ID_TYPECODE
+from repro.core.statistics import GeneralStats
+from repro.engine.jobs import RESULT_VERSION, QuarterResult
+from repro.store.format import (
+    KIND_RESULT,
+    StoreError,
+    check_digested_segment,
+    frame_digested_segment,
+    read_uvarint,
+    write_uvarint,
+)
+
+__all__ = [
+    "ExchangeError",
+    "ResultPlane",
+    "decode_cache_entry",
+    "decode_result_segment",
+    "encode_cache_entry",
+    "encode_result_segment",
+    "publish_result",
+]
+
+
+class ExchangeError(RuntimeError):
+    """A result failed to cross the exchange plane intact."""
+
+
+# ----------------------------------------------------------------------
+# Binary result codec
+# ----------------------------------------------------------------------
+
+#: Fixed-width head of the body: version, month, family, pad, year,
+#: update_record_count, record_count, then the eight GeneralStats
+#: fields in declaration order (five u64 counts, the f64 mean, two
+#: u64 tail stats).  Native endianness, like the store's columns.
+_FIXED = struct.Struct("=HBB4xdQQ5QdQQ")
+
+_U32 = struct.Struct("=I")
+_F64 = struct.Struct("=d")
+
+_KEY_WIDTH = array(ID_TYPECODE).itemsize
+
+#: Value-codec tags (the tail's type-tagged tree encoding).
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_NEGINT = 4
+_T_FLOAT = 5
+_T_STR = 6
+_T_LIST = 7
+_T_MAP = 8
+
+
+def _encode_value(out: bytearray, value: Any) -> None:
+    """Append one tagged value; dicts keep their insertion order."""
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        if value >= 0:
+            out.append(_T_INT)
+            write_uvarint(out, value)
+        else:
+            out.append(_T_NEGINT)
+            write_uvarint(out, -1 - value)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(_T_STR)
+        write_uvarint(out, len(encoded))
+        out += encoded
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST)
+        write_uvarint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif isinstance(value, dict):
+        out.append(_T_MAP)
+        write_uvarint(out, len(value))
+        for key, item in value.items():
+            _encode_value(out, key)
+            _encode_value(out, item)
+    else:
+        raise ExchangeError(
+            f"result value of type {type(value).__name__} is not encodable"
+        )
+
+
+def _decode_value(view: memoryview, offset: int) -> Tuple[Any, int]:
+    """Decode one tagged value; returns ``(value, next offset)``."""
+    if offset >= len(view):
+        raise StoreError("truncated result value")
+    tag = view[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT:
+        return read_uvarint(view, offset)
+    if tag == _T_NEGINT:
+        magnitude, offset = read_uvarint(view, offset)
+        return -1 - magnitude, offset
+    if tag == _T_FLOAT:
+        if offset + _F64.size > len(view):
+            raise StoreError("truncated result float")
+        return _F64.unpack_from(view, offset)[0], offset + _F64.size
+    if tag == _T_STR:
+        length, offset = read_uvarint(view, offset)
+        if offset + length > len(view):
+            raise StoreError("truncated result string")
+        return bytes(view[offset:offset + length]).decode("utf-8"), offset + length
+    if tag == _T_LIST:
+        count, offset = read_uvarint(view, offset)
+        items: List[Any] = []
+        for _ in range(count):
+            item, offset = _decode_value(view, offset)
+            items.append(item)
+        return items, offset
+    if tag == _T_MAP:
+        count, offset = read_uvarint(view, offset)
+        mapping: Dict[Any, Any] = {}
+        for _ in range(count):
+            key, offset = _decode_value(view, offset)
+            item, offset = _decode_value(view, offset)
+            mapping[key] = item
+        return mapping, offset
+    raise StoreError(f"unknown result value tag {tag}")
+
+
+def _encode_key_float_columns(
+    out: bytearray,
+    items: List[Tuple[int, Optional[float]]],
+    with_mask: bool,
+) -> None:
+    """Append one keyed float group: count, u32 keys, [mask], f64 values."""
+    out += _U32.pack(len(items))
+    try:
+        out += array(ID_TYPECODE, [key for key, _ in items]).tobytes()
+    except OverflowError as error:
+        raise ExchangeError(f"column key out of u32 range: {error}") from None
+    if with_mask:
+        out += bytes(
+            1 if value is not None else 0 for _, value in items
+        )
+    out += bytes(-len(out) % 8)
+    out += array(
+        "d", [0.0 if value is None else float(value) for _, value in items]
+    ).tobytes()
+
+
+def _decode_key_float_columns(
+    view: memoryview, offset: int, with_mask: bool
+) -> Tuple[List[Tuple[int, Optional[float]]], int]:
+    """Read one keyed float group via zero-copy ``memoryview.cast``."""
+    if offset + _U32.size > len(view):
+        raise StoreError("truncated column count")
+    count = _U32.unpack_from(view, offset)[0]
+    offset += _U32.size
+    end = offset + count * _KEY_WIDTH
+    if end > len(view):
+        raise StoreError("truncated column keys")
+    keys = view[offset:end].cast(ID_TYPECODE).tolist() if count else []
+    offset = end
+    mask: Optional[bytes] = None
+    if with_mask:
+        if offset + count > len(view):
+            raise StoreError("truncated column mask")
+        mask = bytes(view[offset:offset + count])
+        offset += count
+    offset += -offset % 8
+    end = offset + count * 8
+    if end > len(view):
+        raise StoreError("truncated column values")
+    values = view[offset:end].cast("d").tolist() if count else []
+    items: List[Tuple[int, Optional[float]]] = []
+    for position, key in enumerate(keys):
+        if mask is not None and not mask[position]:
+            items.append((key, None))
+        else:
+            items.append((key, values[position]))
+    return items, end
+
+
+def encode_result(result: QuarterResult) -> bytes:
+    """``QuarterResult`` -> raw body bytes (no framing, no digest)."""
+    stats = result.stats
+    out = bytearray(
+        _FIXED.pack(
+            RESULT_VERSION,
+            result.month,
+            result.family,
+            result.year,
+            result.update_record_count,
+            result.record_count,
+            stats.n_prefixes,
+            stats.n_ases,
+            stats.n_ases_one_atom,
+            stats.n_atoms,
+            stats.n_single_prefix_atoms,
+            stats.mean_atom_size,
+            stats.p99_atom_size,
+            stats.max_atom_size,
+        )
+    )
+    _encode_key_float_columns(
+        out, sorted(result.formation_shares.items()), with_mask=False
+    )
+    _encode_key_float_columns(
+        out, sorted(result.formation_shares_no_single.items()), with_mask=False
+    )
+    _encode_key_float_columns(
+        out, sorted(result.update_pr_full.items()), with_mask=True
+    )
+    _encode_value(out, result.label)
+    _encode_value(out, {k: list(v) for k, v in result.stability.items()})
+    _encode_value(out, dict(result.feed))
+    _encode_value(out, dict(result.report))
+    _encode_value(out, dict(result.incremental))
+    return bytes(out)
+
+
+def decode_result(body) -> QuarterResult:
+    """Raw body bytes (or view) -> ``QuarterResult``; raises on damage."""
+    view = body if isinstance(body, memoryview) else memoryview(body)
+    if len(view) < _FIXED.size:
+        raise StoreError("result body shorter than its fixed head")
+    (
+        version,
+        month,
+        family,
+        year,
+        update_record_count,
+        record_count,
+        n_prefixes,
+        n_ases,
+        n_ases_one_atom,
+        n_atoms,
+        n_single_prefix_atoms,
+        mean_atom_size,
+        p99_atom_size,
+        max_atom_size,
+    ) = _FIXED.unpack_from(view, 0)
+    if version != RESULT_VERSION:
+        raise StoreError(f"unsupported result version {version}")
+    offset = _FIXED.size
+    formation, offset = _decode_key_float_columns(view, offset, with_mask=False)
+    formation_ns, offset = _decode_key_float_columns(view, offset, with_mask=False)
+    pr_full, offset = _decode_key_float_columns(view, offset, with_mask=True)
+    label, offset = _decode_value(view, offset)
+    stability, offset = _decode_value(view, offset)
+    feed, offset = _decode_value(view, offset)
+    report, offset = _decode_value(view, offset)
+    incremental, offset = _decode_value(view, offset)
+    if offset != len(view):
+        raise StoreError("trailing bytes after result body")
+    if not isinstance(label, str) or not all(
+        isinstance(tree, dict) for tree in (stability, feed, report, incremental)
+    ):
+        raise StoreError("result tail has the wrong shape")
+    return QuarterResult(
+        label=label,
+        year=year,
+        month=month,
+        family=family,
+        stats=GeneralStats(
+            n_prefixes=n_prefixes,
+            n_ases=n_ases,
+            n_ases_one_atom=n_ases_one_atom,
+            n_atoms=n_atoms,
+            n_single_prefix_atoms=n_single_prefix_atoms,
+            mean_atom_size=mean_atom_size,
+            p99_atom_size=p99_atom_size,
+            max_atom_size=max_atom_size,
+        ),
+        formation_shares={key: value for key, value in formation},
+        formation_shares_no_single={key: value for key, value in formation_ns},
+        stability={key: tuple(value) for key, value in stability.items()},
+        feed=feed,
+        report=report,
+        update_record_count=update_record_count,
+        update_pr_full={key: value for key, value in pr_full},
+        record_count=record_count,
+        incremental=incremental,
+    )
+
+
+def encode_result_segment(result: QuarterResult) -> bytes:
+    """A complete, self-verifying result segment image."""
+    return frame_digested_segment(KIND_RESULT, encode_result(result))
+
+
+def decode_result_segment(data) -> QuarterResult:
+    """Verify and decode one result segment image (bytes or view)."""
+    return decode_result(
+        check_digested_segment(data, KIND_RESULT, "result segment")
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache sidecar entries
+# ----------------------------------------------------------------------
+
+def encode_cache_entry(
+    key: str, result: QuarterResult, segment: Optional[bytes] = None
+) -> bytes:
+    """The binary sidecar image: varint-framed key + result segment.
+
+    The key prefix lets :meth:`ResultCache.get` reject a renamed or
+    misplaced sidecar the same way the JSON entry's ``"key"`` field
+    does; ``segment`` reuses an already-encoded image when the result
+    just crossed the exchange plane.
+    """
+    encoded_key = key.encode("utf-8")
+    out = bytearray()
+    write_uvarint(out, len(encoded_key))
+    out += encoded_key
+    out += segment if segment is not None else encode_result_segment(result)
+    return bytes(out)
+
+
+def decode_cache_entry(data: bytes, key: str) -> QuarterResult:
+    """Verify a sidecar image against ``key`` and decode its result."""
+    view = memoryview(data)
+    length, offset = read_uvarint(view, offset=0)
+    if offset + length > len(view):
+        raise ExchangeError("cache sidecar truncated inside its key")
+    stored = bytes(view[offset:offset + length]).decode("utf-8")
+    if stored != key:
+        raise ExchangeError(
+            f"cache sidecar key mismatch: entry says {stored[:16]}..."
+        )
+    return decode_result_segment(view[offset + length:])
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+
+#: Shared-memory block name prefix; the embedded pid is the *parent*
+#: (plane owner), so stale blocks of dead runs are identifiable.
+SHM_PREFIX = "repro-xch"
+
+#: Where POSIX shared memory appears as files (Linux); orphan sweeps
+#: are skipped entirely on platforms without it.
+_SHM_MOUNT = Path("/dev/shm")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Liveness probe mirroring the stream archive's tmp sweep."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
+def _shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` actually works here."""
+    try:
+        from multiprocessing import shared_memory
+
+        probe = shared_memory.SharedMemory(create=True, size=1)
+        probe.close()
+        probe.unlink()
+        return True
+    except Exception:
+        return False
+
+
+def _untrack_shm(block) -> None:
+    """Detach a block from this process's resource tracker.
+
+    The worker creates the block but the parent owns its lifetime; if
+    the tracker kept it registered, worker exit would unlink blocks the
+    parent has not claimed yet (and then warn about the double unlink).
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(
+            getattr(block, "_name", block.name), "shared_memory"
+        )
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def publish_result(spec: Dict[str, Any], image: bytes) -> Dict[str, Any]:
+    """Worker side: place one segment image on the plane; returns a ref.
+
+    ``spec`` is the parent's :meth:`ResultPlane.spec`; the returned ref
+    dict crosses the pool boundary in the batch payload and is redeemed
+    exactly once by :meth:`ResultPlane.claim`.
+    """
+    mode = spec.get("mode")
+    if mode == "shm":
+        from multiprocessing import shared_memory
+
+        name = f"{SHM_PREFIX}-{spec['owner']}-{uuid.uuid4().hex[:16]}"
+        block = shared_memory.SharedMemory(name=name, create=True, size=len(image))
+        try:
+            block.buf[: len(image)] = image
+        finally:
+            _untrack_shm(block)
+            block.close()
+        return {"mode": "shm", "name": name, "bytes": len(image)}
+    if mode == "file":
+        directory = Path(spec["dir"])
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{uuid.uuid4().hex}.seg"
+        tmp = directory / f"{path.name}.tmp{os.getpid()}"
+        try:
+            tmp.write_bytes(image)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+        return {"mode": "file", "path": str(path), "bytes": len(image)}
+    raise ExchangeError(f"unknown exchange mode {mode!r}")
+
+
+class ResultPlane:
+    """Parent-side manager of the exchange transport.
+
+    Create one per parallel sweep, hand :meth:`spec` to the workers,
+    :meth:`claim` each returned ref exactly once, and :meth:`close`
+    when the sweep ends (releases the spool directory or sweeps any
+    unclaimed shared-memory blocks a failed sweep left behind).
+    """
+
+    def __init__(
+        self, mode: str = "auto", directory: Optional[os.PathLike] = None
+    ):
+        if mode not in ("auto", "shm", "file"):
+            raise ValueError("exchange mode must be 'auto', 'shm' or 'file'")
+        if mode == "auto":
+            mode = "shm" if _shm_available() else "file"
+        self.mode = mode
+        self._owner = os.getpid()
+        self._owns_dir = False
+        self.directory: Optional[Path] = None
+        if mode == "file":
+            if directory is None:
+                self.directory = Path(
+                    tempfile.mkdtemp(prefix="repro-exchange-")
+                )
+                self._owns_dir = True
+            else:
+                self.directory = Path(directory)
+                self.directory.mkdir(parents=True, exist_ok=True)
+        else:
+            self._sweep_orphans()
+
+    def spec(self) -> Dict[str, Any]:
+        """The picklable transport config workers publish against."""
+        return {
+            "mode": self.mode,
+            "dir": str(self.directory) if self.directory else None,
+            "owner": self._owner,
+        }
+
+    @contextmanager
+    def claim(self, ref: Dict[str, Any]) -> Iterator[memoryview]:
+        """Attach one published ref as a zero-copy view, then retire it.
+
+        The view is only valid inside the ``with`` block: on exit the
+        backing block is unlinked (shm) or the spool file deleted, so
+        callers must finish decoding — or copy — before leaving.
+        """
+        mode = ref.get("mode")
+        size = int(ref.get("bytes", 0))
+        if mode == "shm":
+            from multiprocessing import shared_memory
+
+            try:
+                block = shared_memory.SharedMemory(name=ref["name"])
+            except (FileNotFoundError, OSError) as error:
+                raise ExchangeError(
+                    f"shared result block vanished before claim: {error}"
+                ) from error
+            view = block.buf[:size]
+            try:
+                yield view
+            finally:
+                view.release()
+                block.close()
+                try:
+                    block.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+        elif mode == "file":
+            path = Path(ref["path"])
+            try:
+                with open(path, "rb") as handle:
+                    mapped = mmap.mmap(
+                        handle.fileno(), 0, access=mmap.ACCESS_READ
+                    )
+            except (OSError, ValueError) as error:
+                raise ExchangeError(
+                    f"spooled result vanished before claim: {error}"
+                ) from error
+            view = memoryview(mapped)[:size]
+            try:
+                yield view
+            finally:
+                view.release()
+                mapped.close()
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+        else:
+            raise ExchangeError(f"unknown exchange ref mode {mode!r}")
+
+    def close(self) -> None:
+        """Release plane resources; safe to call more than once."""
+        if self.mode == "file":
+            if self._owns_dir and self.directory is not None:
+                import shutil
+
+                shutil.rmtree(self.directory, ignore_errors=True)
+        else:
+            self._sweep_orphans(owned_only=True)
+
+    def __enter__(self) -> "ResultPlane":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _sweep_orphans(self, owned_only: bool = False) -> int:
+        """Unlink leftover shared blocks: ours always, dead owners' too.
+
+        A parent killed between publish and claim leaks named blocks in
+        ``/dev/shm``; the embedded owner pid makes them attributable, so
+        the next plane (or :meth:`close` after a failed sweep) reclaims
+        them with the same liveness probe the tmp-file sweeps use.
+        """
+        removed = 0
+        if not _SHM_MOUNT.is_dir():
+            return 0
+        for path in _SHM_MOUNT.glob(f"{SHM_PREFIX}-*"):
+            parts = path.name.split("-")
+            if len(parts) < 3 or not parts[2].isdigit():
+                continue
+            owner = int(parts[2])
+            if owned_only:
+                if owner != self._owner:
+                    continue
+            elif owner == self._owner or _pid_alive(owner):
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - best effort
+                pass
+        return removed

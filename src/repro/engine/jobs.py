@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.sanitize import SanitizationConfig
 from repro.core.statistics import GeneralStats
 from repro.net.prefix import AF_INET
+from repro.obs import get_tracer
 from repro.topology.evolution import WorldParams
 from repro.util.dates import utc_timestamp
 
@@ -83,6 +84,14 @@ class SnapshotJob:
     #: disk does not change what is computed, so cache keys stay
     #: stable whether or not a sweep persists a store.
     store_dir: Optional[str] = None
+    #: world-lineage checkpoint directory: workers restore the nearest
+    #: saved warmup prefix instead of replaying from birth, and save
+    #: new boundaries as they pass them.  Like ``store_dir``, excluded
+    #: from :meth:`spec` — checkpoints change how fast a world state is
+    #: reached, never which state.
+    world_checkpoint_dir: Optional[str] = None
+    #: save a world snapshot every N applied ``advance_to`` instants
+    world_checkpoint_stride: int = 4
 
     @property
     def with_stability(self) -> bool:
@@ -217,8 +226,10 @@ def _world_for(job: SnapshotJob):
     """A simulator whose applied cadence is a prefix of the job's.
 
     Reuses the process-cached world when the job continues its
-    timeline; rebuilds from scratch otherwise (time only moves
-    forward, so a world past the job's warmup cannot be rewound).
+    timeline; otherwise restores the nearest world-lineage checkpoint
+    (when the job carries a checkpoint directory) and only as a last
+    resort rebuilds from birth (time only moves forward, so a world
+    past the job's warmup cannot be rewound).
     """
     from repro.simulation.scenario import SimulatedInternet
 
@@ -229,10 +240,51 @@ def _world_for(job: SnapshotJob):
         internet, applied = entry
         if len(applied) <= len(job.warmup) and applied == cadence[: len(applied)]:
             return internet, applied
+    if job.world_checkpoint_dir is not None and job.warmup:
+        from repro.engine.checkpoint import WorldCheckpoint
+
+        checkpoint = WorldCheckpoint(
+            job.world_checkpoint_dir, job.world_checkpoint_stride
+        )
+        restored = checkpoint.restore(job.params, job.start, job.warmup)
+        tracer = get_tracer()
+        if restored is not None:
+            internet, applied = restored
+            _WORLDS[key] = [internet, applied]
+            if tracer.enabled:
+                tracer.count("exchange.world_restores")
+                tracer.count("exchange.world_restored_instants", len(applied))
+            return internet, applied
+        if tracer.enabled:
+            tracer.count("exchange.world_restore_misses")
     internet = SimulatedInternet(job.params, start=job.start)
     entry = [internet, []]
     _WORLDS[key] = entry
     return entry[0], entry[1]
+
+
+def _maybe_checkpoint_world(job: SnapshotJob, internet, applied) -> None:
+    """Save the world when the job ends exactly on a stride boundary.
+
+    The applied cadence fully determines the state, so the save is
+    skipped (inside :meth:`WorldCheckpoint.save`) when another worker
+    already wrote the same boundary.  I/O failures are swallowed: a
+    full disk slows the next cold start, it must not fail this job.
+    """
+    from repro.engine.checkpoint import WorldCheckpoint
+
+    stride = max(1, job.world_checkpoint_stride)
+    if len(applied) % stride:
+        return
+    checkpoint = WorldCheckpoint(job.world_checkpoint_dir, stride)
+    try:
+        path = checkpoint.save(internet, applied)
+    except OSError:  # pragma: no cover - disk trouble
+        return
+    if path is not None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("exchange.world_saves")
 
 
 def execute_snapshot_job(job: SnapshotJob) -> QuarterResult:
@@ -273,6 +325,8 @@ def execute_snapshot_job(job: SnapshotJob) -> QuarterResult:
         if job.incremental and study._index is not None:
             suite.incremental_stats = study._index.stats.as_dict()
     applied.extend(job.times)
+    if job.world_checkpoint_dir is not None:
+        _maybe_checkpoint_world(job, internet, applied)
     if job.store_dir is not None:
         persist_suite_part(job, suite)
     return summarize_suite(job, suite)
@@ -328,28 +382,43 @@ def persist_suite_part(job: SnapshotJob, suite) -> None:
     write_part(job.store_dir, job_digest(job), snapshots)
 
 
-def execute_snapshot_batch(jobs: Sequence[SnapshotJob]) -> Dict[str, Any]:
+def execute_snapshot_batch(
+    jobs: Sequence[SnapshotJob],
+    exchange: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """Pool entry point: run a chronological chunk of jobs as one task.
 
     Batching amortizes pool overhead two ways: the chunk's jobs share
     this worker's cached world lineage back to back (no other task can
     interleave and reset it), and each result crosses the process
-    boundary as its :func:`result_to_payload` dict — the compact JSON
-    codec the cache already persists — rather than a pickled
-    ``QuarterResult`` object graph.  Per-job wall times are measured
-    here, worker-side, so the scheduler can report them exactly as the
-    unbatched path did.
+    boundary compactly — by default as its :func:`result_to_payload`
+    dict (the JSON codec the cache persists), or, when ``exchange``
+    carries a :meth:`~repro.engine.exchange.ResultPlane.spec`, as a
+    published binary segment whose ref the parent redeems zero-copy.
+    Per-job wall times are measured here, worker-side, so the scheduler
+    can report them exactly as the unbatched path did.
     """
     items: List[Dict[str, Any]] = []
     for job in jobs:
         started = time.perf_counter()
         result = execute_snapshot_job(job)
-        items.append(
-            {
-                "payload": result_to_payload(result),
-                "seconds": time.perf_counter() - started,
-            }
-        )
+        if exchange is not None:
+            from repro.engine.exchange import (
+                encode_result_segment,
+                publish_result,
+            )
+
+            ref = publish_result(exchange, encode_result_segment(result))
+            items.append(
+                {"ref": ref, "seconds": time.perf_counter() - started}
+            )
+        else:
+            items.append(
+                {
+                    "payload": result_to_payload(result),
+                    "seconds": time.perf_counter() - started,
+                }
+            )
     return {"worker": os.getpid(), "items": items}
 
 
@@ -397,6 +466,8 @@ def build_jobs(
     update_hours: float = 4.0,
     incremental: bool = False,
     store_dir: Optional[str] = None,
+    world_checkpoint_dir: Optional[str] = None,
+    world_checkpoint_stride: int = 4,
 ) -> List[SnapshotJob]:
     """The job graph of a sweep.
 
@@ -404,7 +475,9 @@ def build_jobs(
     reporting year).  Each job's warmup is the concatenated cadence of
     every earlier quarter, so any job alone reproduces the world state
     of a serial chronological run.  ``store_dir`` makes every job
-    persist its snapshots as an atom-store part there.
+    persist its snapshots as an atom-store part there;
+    ``world_checkpoint_dir`` lets workers restore/save world-lineage
+    checkpoints instead of replaying warmups from birth.
     """
     jobs: List[SnapshotJob] = []
     warmup: List[int] = []
@@ -426,6 +499,8 @@ def build_jobs(
                 month=month,
                 report_year=report_year,
                 store_dir=store_dir,
+                world_checkpoint_dir=world_checkpoint_dir,
+                world_checkpoint_stride=world_checkpoint_stride,
             )
         )
         warmup.extend(times)

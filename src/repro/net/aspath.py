@@ -47,6 +47,9 @@ class PathSegment:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("PathSegment is immutable")
 
+    def __reduce__(self) -> Tuple[type, Tuple[SegmentType, Tuple[int, ...]]]:
+        return (PathSegment, (self.kind, self.asns))
+
     @property
     def is_set(self) -> bool:
         return self.kind == SegmentType.AS_SET
@@ -92,6 +95,9 @@ class ASPath:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("ASPath is immutable")
+
+    def __reduce__(self) -> Tuple[type, Tuple[Tuple[PathSegment, ...]]]:
+        return (ASPath, (self.segments,))
 
     @classmethod
     def from_asns(cls, asns: Sequence[int]) -> "ASPath":

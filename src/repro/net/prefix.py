@@ -140,6 +140,11 @@ class Prefix:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Prefix is immutable")
 
+    def __reduce__(self) -> Tuple[type, Tuple[int, int, int]]:
+        # __slots__ plus the raising __setattr__ breaks default pickling;
+        # rebuild through the constructor instead.
+        return (Prefix, (self.family, self.network, self.length))
+
     @classmethod
     @lru_cache(maxsize=1 << 20)
     def parse(cls, text: str) -> "Prefix":

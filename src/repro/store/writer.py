@@ -83,6 +83,52 @@ def _atomic_write(path: Path, data: bytes) -> None:
                 pass
 
 
+def _pid_alive(pid: int) -> bool:
+    """True when ``pid`` names a live process (or we cannot tell)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):  # pragma: no cover - other owner
+        return True
+    return True
+
+
+def sweep_stale_tmp(directory: os.PathLike) -> int:
+    """Remove ``*.tmp<pid>`` leftovers whose writer died; count removed.
+
+    A sweep worker killed mid-``_atomic_write`` leaves its temp file
+    behind — never a corrupt store (the rename is atomic and the
+    manifest lands last), but the orphans accumulate under ``parts/``
+    across re-runs.  The owning pid is embedded in the temp name, so a
+    liveness probe distinguishes a dead writer's litter from a
+    concurrent writer still mid-write; only the former is removed.
+    """
+    base = Path(directory)
+    if not base.is_dir():
+        return 0
+    removed = 0
+    for tmp in base.rglob("*.tmp*"):
+        if not tmp.is_file():
+            continue
+        suffix = tmp.name.rpartition(".tmp")[2]
+        digits = suffix.split("-", 1)[0]
+        if not digits.isdigit():
+            continue
+        if _pid_alive(int(digits)):
+            continue
+        try:
+            tmp.unlink()
+        except OSError:  # pragma: no cover - raced with another sweeper
+            continue
+        removed += 1
+    if removed:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("store.tmp_swept", removed)
+    return removed
+
+
 class StoreWriter:
     """Builds one columnar atom store under ``root``.
 
@@ -302,6 +348,7 @@ def write_part(
     """
     if part_complete(root, job_key):
         return part_dir(root, job_key) / MANIFEST_NAME
+    sweep_stale_tmp(part_dir(root, job_key))
     writer = StoreWriter(part_dir(root, job_key))
     for item in snapshots:
         item = dict(item)
@@ -323,6 +370,7 @@ def merge_parts(
     """
     from repro.store.reader import AtomStore
 
+    sweep_stale_tmp(Path(root) / PARTS_DIR)
     missing = [key for key in job_keys if not part_complete(root, key)]
     if missing:
         raise StoreError(

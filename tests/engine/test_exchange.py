@@ -1,0 +1,391 @@
+"""Zero-copy columnar result plane: codec, transports, cache sidecar.
+
+Covers the exchange acceptance criteria: a decoded columnar result is
+value-identical to the JSON path (``result_to_payload`` bytes equal),
+corruption anywhere in a segment raises instead of yielding a wrong
+result, both transports (shared memory and spool files) round-trip,
+and a parallel columnar sweep equals the serial JSON baseline exactly.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.statistics import GeneralStats
+from repro.engine.cache import ResultCache, job_digest
+from repro.engine.exchange import (
+    ExchangeError,
+    ResultPlane,
+    decode_cache_entry,
+    decode_result_segment,
+    encode_cache_entry,
+    encode_result,
+    encode_result_segment,
+    publish_result,
+)
+from repro.engine.jobs import (
+    build_jobs,
+    clear_worker_state,
+    execute_snapshot_job,
+    result_to_payload,
+)
+from repro.engine.metrics import EngineMetrics
+from repro.engine.scheduler import ExecutionEngine
+from repro.store.format import KIND_RESULT, StoreError, frame_digested_segment
+from repro.util.dates import utc_timestamp
+
+from tests.engine.conftest import ENGINE_WORLD
+
+
+def synthetic_result():
+    """A hand-built result exercising every codec branch.
+
+    None values in ``update_pr_full``, negative and large ints, nested
+    containers, non-ASCII text, int dict keys, bools — everything the
+    tagged tail must round-trip type-exactly.
+    """
+    from repro.engine.jobs import QuarterResult
+
+    return QuarterResult(
+        label="2004-Q1 — café",
+        year=2004.25,
+        month=4,
+        family=2,
+        stats=GeneralStats(
+            n_prefixes=12345,
+            n_ases=678,
+            n_ases_one_atom=90,
+            n_atoms=4321,
+            n_single_prefix_atoms=1111,
+            mean_atom_size=2.857142857,
+            p99_atom_size=17,
+            max_atom_size=404,
+        ),
+        formation_shares={1: 0.5, 2: 0.25, 3: 0.25},
+        formation_shares_no_single={2: 0.5, 3: 0.5},
+        stability={"8h": (0.75, 12, 16), "2d": (0.5, 8, 16)},
+        feed={"fullfeed_peers": 9, "partial_peers": 2},
+        report={
+            "removed_peers": {"65001": "default-route"},
+            "prefixes_kept": 1000,
+            "prefixes_total": 1024,
+            "nested": [1, -7, None, True, False, "x", {"k": 2.5}],
+            "big": 2**40,
+            "neg": -(2**40),
+        },
+        update_record_count=55,
+        update_pr_full={0: 0.1, 4: None, 8: 0.9},
+        record_count=99999,
+        incremental={"steps": 4, "dirty_sizes": [3, 0, 7]},
+    )
+
+
+@pytest.fixture(scope="module")
+def computed_result():
+    """One real computed result (cheap world, no stability suite)."""
+    jobs = build_jobs(
+        ENGINE_WORLD,
+        utc_timestamp(2004, 1, 1),
+        [(2004, 1, 2004.0)],
+        with_stability=False,
+    )
+    clear_worker_state()
+    return execute_snapshot_job(jobs[0])
+
+
+def payload_bytes(result) -> bytes:
+    """The JSON-path canonical form the parity gate compares."""
+    return json.dumps(result_to_payload(result)).encode("utf-8")
+
+
+class TestResultCodec:
+    def test_synthetic_round_trip_is_value_identical(self):
+        result = synthetic_result()
+        decoded = decode_result_segment(encode_result_segment(result))
+        assert payload_bytes(decoded) == payload_bytes(result)
+        # Type preservation, not just JSON equality:
+        assert decoded.formation_shares == result.formation_shares
+        assert decoded.stability == result.stability
+        assert decoded.update_pr_full == result.update_pr_full
+        assert decoded.update_pr_full[4] is None
+        assert decoded.stats == result.stats
+
+    def test_computed_round_trip(self, computed_result):
+        decoded = decode_result_segment(encode_result_segment(computed_result))
+        assert payload_bytes(decoded) == payload_bytes(computed_result)
+
+    def test_encoding_is_deterministic(self, computed_result):
+        assert encode_result_segment(computed_result) == encode_result_segment(
+            computed_result
+        )
+
+    def test_digest_flip_raises(self):
+        image = bytearray(encode_result_segment(synthetic_result()))
+        image[-1] ^= 0xFF
+        with pytest.raises(StoreError):
+            decode_result_segment(bytes(image))
+
+    def test_truncation_raises(self):
+        image = encode_result_segment(synthetic_result())
+        with pytest.raises(StoreError):
+            decode_result_segment(image[:-4])
+
+    def test_wrong_kind_raises(self):
+        body = encode_result(synthetic_result())
+        image = frame_digested_segment(KIND_RESULT + 40, body)
+        with pytest.raises(StoreError):
+            decode_result_segment(image)
+
+    def test_trailing_bytes_raise(self):
+        body = encode_result(synthetic_result()) + b"\x00"
+        with pytest.raises(StoreError):
+            decode_result_segment(frame_digested_segment(KIND_RESULT, body))
+
+    def test_unencodable_value_raises(self):
+        result = synthetic_result()
+        result.report["bad"] = object()
+        with pytest.raises(ExchangeError):
+            encode_result_segment(result)
+
+
+class TestCacheEntryCodec:
+    def test_round_trip(self):
+        result = synthetic_result()
+        entry = encode_cache_entry("abc123", result)
+        decoded = decode_cache_entry(entry, "abc123")
+        assert payload_bytes(decoded) == payload_bytes(result)
+
+    def test_key_mismatch_raises(self):
+        entry = encode_cache_entry("abc123", synthetic_result())
+        with pytest.raises(ExchangeError):
+            decode_cache_entry(entry, "def456")
+
+    def test_reuses_provided_segment(self):
+        result = synthetic_result()
+        segment = encode_result_segment(result)
+        entry = encode_cache_entry("k", result, segment)
+        assert entry.endswith(segment)
+        assert payload_bytes(decode_cache_entry(entry, "k")) == payload_bytes(
+            result
+        )
+
+
+class TestTransports:
+    @pytest.mark.parametrize("mode", ["shm", "file"])
+    def test_publish_claim_round_trip(self, mode, tmp_path):
+        kwargs = {"directory": tmp_path} if mode == "file" else {}
+        result = synthetic_result()
+        image = encode_result_segment(result)
+        with ResultPlane(mode=mode, **kwargs) as plane:
+            ref = publish_result(plane.spec(), image)
+            assert ref["mode"] == mode
+            assert ref["bytes"] == len(image)
+            with plane.claim(ref) as view:
+                decoded = decode_result_segment(view)
+        assert payload_bytes(decoded) == payload_bytes(result)
+
+    def test_shm_claim_retires_the_block(self):
+        from multiprocessing import shared_memory
+
+        plane = ResultPlane(mode="shm")
+        ref = publish_result(plane.spec(), encode_result_segment(synthetic_result()))
+        with plane.claim(ref) as view:
+            decode_result_segment(view)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=ref["name"])
+        plane.close()
+
+    def test_file_claim_deletes_the_spool(self, tmp_path):
+        with ResultPlane(mode="file", directory=tmp_path) as plane:
+            ref = publish_result(
+                plane.spec(), encode_result_segment(synthetic_result())
+            )
+            assert os.path.exists(ref["path"])
+            with plane.claim(ref) as view:
+                decode_result_segment(view)
+            assert not os.path.exists(ref["path"])
+
+    def test_vanished_refs_raise(self, tmp_path):
+        with ResultPlane(mode="file", directory=tmp_path) as plane:
+            with pytest.raises(ExchangeError):
+                with plane.claim(
+                    {"mode": "file", "path": str(tmp_path / "gone.seg"), "bytes": 8}
+                ):
+                    pass  # pragma: no cover - claim raises before entry
+            with pytest.raises(ExchangeError):
+                with plane.claim({"mode": "shm", "name": "repro-xch-0-missing",
+                                  "bytes": 8}):
+                    pass  # pragma: no cover
+            with pytest.raises(ExchangeError):
+                with plane.claim({"mode": "carrier-pigeon"}):
+                    pass  # pragma: no cover
+
+    def test_owned_spool_dir_is_removed_on_close(self):
+        plane = ResultPlane(mode="file")
+        spool = plane.directory
+        assert spool is not None and spool.is_dir()
+        plane.close()
+        assert not spool.exists()
+
+    def test_unclaimed_shm_of_dead_owner_is_swept(self):
+        import uuid
+        from multiprocessing import shared_memory
+
+        from repro.engine.exchange import SHM_PREFIX, _SHM_MOUNT
+
+        if not _SHM_MOUNT.is_dir():
+            pytest.skip("no /dev/shm on this platform")
+        # Forge a block whose embedded owner pid is certainly dead.
+        dead = 2**22 - 1
+        name = f"{SHM_PREFIX}-{dead}-{uuid.uuid4().hex[:16]}"
+        block = shared_memory.SharedMemory(name=name, create=True, size=8)
+        from repro.engine.exchange import _untrack_shm
+
+        _untrack_shm(block)
+        block.close()
+        assert (_SHM_MOUNT / name).exists()
+        ResultPlane(mode="shm").close()
+        assert not (_SHM_MOUNT / name).exists()
+
+
+def run_columnar_sweep(jobs, batch=1, cache=None, metrics=None,
+                       exchange="columnar", exchange_dir=None):
+    sweep_jobs = build_jobs(
+        ENGINE_WORLD,
+        utc_timestamp(2004, 1, 1),
+        [(2004, 1, 2004.0), (2005, 1, 2005.0), (2006, 1, 2006.0)],
+        with_stability=False,
+    )
+    clear_worker_state()
+    engine = ExecutionEngine(
+        jobs=jobs, batch=batch, cache=cache, metrics=metrics,
+        exchange=exchange, exchange_dir=exchange_dir,
+    )
+    return engine.run(sweep_jobs)
+
+
+class TestParallelColumnarParity:
+    @pytest.fixture(scope="class")
+    def serial_json(self):
+        return run_columnar_sweep(jobs=1, exchange="json")
+
+    def test_jobs4_columnar_identical(self, serial_json):
+        parallel = run_columnar_sweep(jobs=4)
+        assert [payload_bytes(r) for r in parallel] == [
+            payload_bytes(r) for r in serial_json
+        ]
+
+    def test_batch2_columnar_identical(self, serial_json):
+        parallel = run_columnar_sweep(jobs=2, batch=2)
+        assert [payload_bytes(r) for r in parallel] == [
+            payload_bytes(r) for r in serial_json
+        ]
+
+    def test_file_spool_columnar_identical(self, serial_json, tmp_path):
+        parallel = run_columnar_sweep(jobs=2, exchange_dir=tmp_path)
+        assert [payload_bytes(r) for r in parallel] == [
+            payload_bytes(r) for r in serial_json
+        ]
+        assert not list(tmp_path.glob("*.seg"))  # all claims retired
+
+    def test_metrics_report_columnar_codec(self):
+        metrics = EngineMetrics()
+        run_columnar_sweep(jobs=2, metrics=metrics)
+        summary = metrics.summary()["exchange"]
+        assert summary["columnar_jobs"] == 3
+        assert summary["bytes_claimed"] > 0
+        assert "columnar job(s)" in metrics.render()
+
+    def test_serial_sweep_has_no_exchange_rollup(self, serial_json):
+        metrics = EngineMetrics()
+        run_columnar_sweep(jobs=1, exchange="json", metrics=metrics)
+        assert metrics.summary()["exchange"] == {}
+
+    def test_engine_rejects_unknown_exchange(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(exchange="telepathy")
+
+
+class TestBinarySidecarCache:
+    def test_put_writes_sidecar_and_get_prefers_it(self, tmp_path,
+                                                   computed_result):
+        cache = ResultCache(tmp_path, binary=True)
+        key = "ab" + "0" * 62
+        cache.put(key, computed_result)
+        assert cache._binary_path(key).is_file()
+        # Corrupt the JSON entry: the sidecar must still answer.
+        cache._path(key).write_text("{broken", encoding="utf-8")
+        hit = cache.get(key)
+        assert hit is not None
+        assert payload_bytes(hit) == payload_bytes(computed_result)
+
+    def test_corrupt_sidecar_falls_back_to_json(self, tmp_path,
+                                                computed_result):
+        cache = ResultCache(tmp_path, binary=True)
+        key = "cd" + "0" * 62
+        cache.put(key, computed_result)
+        sidecar = cache._binary_path(key)
+        damaged = bytearray(sidecar.read_bytes())
+        damaged[-1] ^= 0xFF
+        sidecar.write_bytes(bytes(damaged))
+        hit = cache.get(key)
+        assert hit is not None
+        assert payload_bytes(hit) == payload_bytes(computed_result)
+        assert not sidecar.exists()  # the bad sidecar was dropped
+
+    def test_plain_cache_reads_leftover_sidecars(self, tmp_path,
+                                                 computed_result):
+        binary = ResultCache(tmp_path, binary=True)
+        key = "ef" + "0" * 62
+        binary.put(key, computed_result)
+        plain = ResultCache(tmp_path)
+        assert not plain.binary
+        hit = plain.get(key)
+        assert hit is not None
+        assert payload_bytes(hit) == payload_bytes(computed_result)
+
+    def test_plain_cache_writes_no_sidecar(self, tmp_path, computed_result):
+        cache = ResultCache(tmp_path)
+        key = "0f" + "0" * 62
+        cache.put(key, computed_result)
+        assert not cache._binary_path(key).exists()
+
+    def test_parallel_columnar_sweep_fills_binary_cache(self, tmp_path):
+        cache = ResultCache(tmp_path, binary=True)
+        first = run_columnar_sweep(jobs=2, cache=cache)
+        assert list(tmp_path.glob("*/*.seg"))
+        metrics = EngineMetrics()
+        second = run_columnar_sweep(jobs=1, cache=cache, metrics=metrics,
+                                    exchange="json")
+        assert metrics.summary()["hit_rate"] == 1.0
+        assert [payload_bytes(r) for r in first] == [
+            payload_bytes(r) for r in second
+        ]
+
+    def test_sidecar_key_binding(self, tmp_path, computed_result):
+        """A sidecar renamed onto another key is rejected, not served."""
+        cache = ResultCache(tmp_path, binary=True)
+        key = "12" + "0" * 62
+        other = "12" + "f" * 62
+        cache.put(key, computed_result)
+        cache._binary_path(other).parent.mkdir(parents=True, exist_ok=True)
+        cache._binary_path(other).write_bytes(
+            cache._binary_path(key).read_bytes()
+        )
+        assert cache.get(other) is None  # no JSON entry either
+        assert not cache._binary_path(other).exists()
+
+    def test_job_digest_unchanged_by_exchange_fields(self):
+        """Exchange/checkpoint wiring must not invalidate existing caches."""
+        base = build_jobs(
+            ENGINE_WORLD,
+            utc_timestamp(2004, 1, 1),
+            [(2004, 1, 2004.0)],
+            with_stability=False,
+        )[0]
+        from dataclasses import replace
+
+        stamped = replace(base, world_checkpoint_dir="/tmp/x",
+                          world_checkpoint_stride=2)
+        assert job_digest(stamped) == job_digest(base)
